@@ -1,0 +1,77 @@
+//! Family-consistency experiment: the paper states that "multiple chip
+//! samples are used and we find that flash memories within the same family
+//! show consistent behavior". We characterize several simulated chips of
+//! the family and derive the publishable extraction recipe.
+
+use flashmark_bench::output::{write_json, Table};
+use flashmark_core::{derive_recipe, SweepSpec};
+use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
+use flashmark_physics::{Micros, PhysicsParams};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct FamilyReport {
+    per_chip: Vec<(u64, f64, f64, f64, f64)>, // (seed, t_pew, separation, lo, hi)
+    recipe_t_pew_us: f64,
+    recipe_window: (f64, f64),
+    optimum_spread_us: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const CHIPS: u64 = 6;
+    eprintln!("family_consistency: characterizing {CHIPS} sample chips ...");
+    let seeds: Vec<u64> = (0..CHIPS).map(|i| 0xFA31 + i * 7).collect();
+    let mut chips: Vec<FlashController> = seeds
+        .iter()
+        .map(|&s| {
+            FlashController::new(
+                PhysicsParams::msp430_like(),
+                FlashGeometry::single_bank(4),
+                FlashTimings::msp430(),
+                s,
+            )
+        })
+        .collect();
+
+    let sweep = SweepSpec::new(Micros::new(14.0), Micros::new(50.0), Micros::new(2.0))?;
+    let fam = derive_recipe(
+        &mut chips,
+        SegmentAddr::new(0),
+        SegmentAddr::new(1),
+        50.0,
+        &sweep,
+        260,
+        7,
+        3,
+    )?;
+
+    let mut table = Table::new(["chip seed", "optimal tPEW (us)", "separation %", "window (us)"]);
+    let mut per_chip = Vec::new();
+    for (seed, w) in seeds.iter().zip(&fam.per_chip) {
+        table.row([
+            format!("{seed:#x}"),
+            format!("{:.0}", w.t_pew.get()),
+            format!("{:.1}", w.separation() * 100.0),
+            format!("{:.0}..{:.0}", w.window_lo.get(), w.window_hi.get()),
+        ]);
+        per_chip.push((*seed, w.t_pew.get(), w.separation(), w.window_lo.get(), w.window_hi.get()));
+    }
+    println!("{}", table.render());
+    println!(
+        "\npublished recipe: tPEW = {} within window {} .. {} (optimum spread {} across chips)",
+        fam.recipe.t_pew, fam.recipe.window_lo, fam.recipe.window_hi, fam.optimum_spread()
+    );
+    println!("worst per-chip separation: {:.1} %", fam.worst_separation() * 100.0);
+
+    let json = write_json(
+        "family_consistency",
+        &FamilyReport {
+            per_chip,
+            recipe_t_pew_us: fam.recipe.t_pew.get(),
+            recipe_window: (fam.recipe.window_lo.get(), fam.recipe.window_hi.get()),
+            optimum_spread_us: fam.optimum_spread().get(),
+        },
+    )?;
+    eprintln!("wrote {}", json.display());
+    Ok(())
+}

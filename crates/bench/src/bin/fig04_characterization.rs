@@ -1,0 +1,47 @@
+//! Regenerates the paper's Fig. 4: flash-cell state vs partial-erase time
+//! for stress levels 0 K … 100 K, plus the all-cells-erased times.
+
+use flashmark_bench::experiments::fig04;
+use flashmark_bench::output::{compare_line, results_dir, write_json, Table};
+use flashmark_bench::paper;
+use flashmark_core::SweepSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let levels: Vec<f64> = paper::FIG4_ALL_ERASED_US.iter().map(|&(k, _)| k).collect();
+    let sweep = SweepSpec::fig4();
+    eprintln!("fig04: characterizing {} stress levels (0-120 us sweep) ...", levels.len());
+    let data = fig04(0xF1604, &levels, &sweep, 3)?;
+
+    let mut table = Table::new(["tPE (us)"].into_iter().map(String::from).chain(
+        data.curves.iter().map(|c| format!("cells_0 @{}K", c.kcycles)),
+    ));
+    for (i, &(t, _, _)) in data.curves[0].points.iter().enumerate() {
+        let mut row = vec![format!("{t:.0}")];
+        for c in &data.curves {
+            row.push(format!("{}", c.points[i].1));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!();
+
+    println!("all-cells-erased times (paper Fig. 4 anchors):");
+    for c in &data.curves {
+        let paper_t = paper::FIG4_ALL_ERASED_US
+            .iter()
+            .find(|&&(k, _)| k == c.kcycles)
+            .map_or(f64::NAN, |&(_, t)| t);
+        println!("{}", compare_line(&format!("  all erased @{:>3}K", c.kcycles), paper_t, c.all_erased_us, "us"));
+    }
+    if let Some(onset) = data.curves[0].onset_us {
+        println!(
+            "{}",
+            compare_line("  fresh erase onset", paper::FIG4_FRESH_ONSET_US, onset, "us")
+        );
+    }
+
+    table.write_csv(&results_dir().join("fig04.csv"))?;
+    let json = write_json("fig04", &data)?;
+    eprintln!("wrote {} and fig04.csv", json.display());
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's Fig. 5: one-round discrimination of a fresh
+//! segment from a 50 K-stressed one at `tPEW` = 23 µs.
+
+use flashmark_bench::experiments::fig05;
+use flashmark_bench::output::{compare_line, write_json};
+use flashmark_bench::paper;
+use flashmark_physics::Micros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("fig05: fresh vs 50K discrimination ...");
+    let data = fig05(0xF1605, 50.0, Micros::new(paper::FIG5_T_PEW_US))?;
+
+    println!(
+        "at tPEW = {:.0} us: fresh segment has {} programmed cells, 50K segment {}",
+        data.t_pew_us, data.programmed_at_t_pew.0, data.programmed_at_t_pew.1
+    );
+    println!(
+        "{}",
+        compare_line(
+            "distinguishable bits @23 us",
+            paper::FIG5_DISTINGUISHABLE as f64,
+            data.distinguishable as f64,
+            "bits",
+        )
+    );
+    println!(
+        "window-search optimum: tPEW = {:.1} us with {} of {} bits distinguishable",
+        data.best_t_pew_us, data.best_distinguishable, data.total
+    );
+
+    let json = write_json("fig05", &data)?;
+    eprintln!("wrote {}", json.display());
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Regenerates the paper's Fig. 9: bit error rate of a single-read,
+//! single-copy 512-byte watermark extraction as a function of the partial
+//! erase time, for imprint stress levels 0 K … 100 K.
+
+use flashmark_bench::experiments::fig09;
+use flashmark_bench::output::{compare_line, results_dir, write_json, Table};
+use flashmark_bench::paper;
+use flashmark_core::SweepSpec;
+use flashmark_physics::Micros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let levels = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+    let sweep = SweepSpec::new(Micros::new(2.0), Micros::new(80.0), Micros::new(2.0))?;
+    eprintln!("fig09: BER sweep over {} stress levels ...", levels.len());
+    let data = fig09(0xF1609, &levels, &sweep)?;
+
+    println!("watermark 1-bit fraction: {:.3} (small-tPE plateau)", data.ones_fraction);
+    let mut table = Table::new(
+        ["tPE (us)"].into_iter().map(String::from).chain(
+            data.series.iter().map(|s| format!("BER% @{}K", s.kcycles)),
+        ),
+    );
+    for (i, &(t, _)) in data.series[0].points.iter().enumerate() {
+        let mut row = vec![format!("{t:.0}")];
+        for s in &data.series {
+            row.push(format!("{:.1}", s.points[i].1 * 100.0));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!();
+
+    println!("minimum BER per stress level:");
+    for s in &data.series {
+        let (t_min, ber_min) = s.minimum().expect("non-empty sweep");
+        let paper_min = paper::FIG9_MIN_BER_PCT
+            .iter()
+            .find(|&&(k, _)| k == s.kcycles)
+            .map(|&(_, b)| b);
+        match paper_min {
+            Some(p) => println!(
+                "{}  (at tPE {:.0} us)",
+                compare_line(&format!("  min BER @{:>3}K", s.kcycles), p, ber_min * 100.0, "%"),
+                t_min
+            ),
+            None => println!(
+                "  min BER @{:>3}K                              measured {:>8.2} %    (at tPE {:.0} us)",
+                s.kcycles,
+                ber_min * 100.0,
+                t_min
+            ),
+        }
+    }
+
+    table.write_csv(&results_dir().join("fig09.csv"))?;
+    let json = write_json("fig09", &data)?;
+    eprintln!("wrote {} and fig09.csv", json.display());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's Fig. 11: impact of 3/5/7-way replication on the
+//! bit error rate across the partial-erase window, for segments imprinted
+//! 40 K / 50 K / 60 K / 70 K times.
+//!
+//! Pass `--layout interleaved` to run the replica-interleaving ablation.
+
+use flashmark_bench::experiments::fig11;
+use flashmark_bench::output::{compare_line, results_dir, write_json, Table};
+use flashmark_bench::paper;
+use flashmark_core::{ReplicaLayout, SweepSpec};
+use flashmark_physics::Micros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layout = if std::env::args().any(|a| a == "--layout=interleaved" || a == "interleaved") {
+        ReplicaLayout::Interleaved
+    } else {
+        ReplicaLayout::Contiguous
+    };
+    let levels = [40.0, 50.0, 60.0, 70.0];
+    let reps = [3usize, 5, 7];
+    let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(56.0), Micros::new(2.0))?;
+    eprintln!("fig11: replication sweep ({layout:?} layout) ...");
+    let data = fig11(0xF1611, &levels, &reps, &sweep, layout)?;
+
+    for &k in &levels {
+        let mut table = Table::new(
+            ["tPE (us)"].into_iter().map(String::from).chain(
+                reps.iter().map(|r| format!("BER% {r} replicas")),
+            ),
+        );
+        let series: Vec<_> = data.series.iter().filter(|s| s.kcycles == k).collect();
+        for (i, &(t, _)) in series[0].points.iter().enumerate() {
+            let mut row = vec![format!("{t:.0}")];
+            for s in &series {
+                row.push(format!("{:.2}", s.points[i].1 * 100.0));
+            }
+            table.row(row);
+        }
+        println!("--- imprint stress {k} K ---");
+        println!("{}", table.render());
+        println!();
+        table.write_csv(&results_dir().join(format!("fig11_{k}k.csv")))?;
+    }
+
+    println!("minimum BER at 40 K (paper comparison):");
+    for &(r, paper_ber) in paper::FIG11_40K_MIN_BER_PCT {
+        let measured = data
+            .series
+            .iter()
+            .find(|s| s.kcycles == 40.0 && s.replicas == r)
+            .and_then(|s| s.minimum())
+            .map_or(f64::NAN, |(_, b)| b * 100.0);
+        println!("{}", compare_line(&format!("  min BER @40K, {r} replicas"), paper_ber, measured, "%"));
+    }
+    let recovered_70k = data
+        .series
+        .iter()
+        .find(|s| s.kcycles == 70.0 && s.replicas == paper::FIG11_70K_ZERO_BER_REPLICAS)
+        .and_then(|s| s.minimum())
+        .map_or(f64::NAN, |(_, b)| b * 100.0);
+    println!(
+        "  @70K with 3 replicas: measured min BER {recovered_70k:.2} % (paper: full recovery, 0 %)"
+    );
+
+    let json = write_json("fig11", &data)?;
+    eprintln!("wrote {} and fig11_*.csv", json.display());
+    Ok(())
+}

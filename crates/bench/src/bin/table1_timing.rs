@@ -1,0 +1,43 @@
+//! Regenerates the paper's Section V timing results: imprint time
+//! (baseline vs accelerated) at 40 K and 70 K cycles, and the extraction
+//! time of a replicated watermark.
+
+use flashmark_bench::experiments::table1;
+use flashmark_bench::output::{compare_line, write_json, Table};
+use flashmark_bench::paper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("table1: imprint/extract timing ...");
+    let data = table1(0xF1671, &[40_000, 70_000])?;
+
+    let mut table = Table::new(["NPE", "baseline (s)", "accelerated (s)", "speedup"]);
+    for &(n, base, accel, speedup) in &data.imprint {
+        table.row([
+            format!("{n}"),
+            format!("{base:.0}"),
+            format!("{accel:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!();
+
+    let rows = [
+        ("baseline imprint @40K", paper::IMPRINT_BASELINE_40K_S, data.imprint[0].1),
+        ("accelerated imprint @40K", paper::IMPRINT_ACCEL_40K_S, data.imprint[0].2),
+        ("baseline imprint @70K", paper::IMPRINT_BASELINE_70K_S, data.imprint[1].1),
+        ("accelerated imprint @70K", paper::IMPRINT_ACCEL_70K_S, data.imprint[1].2),
+    ];
+    for (name, p, m) in rows {
+        println!("{}", compare_line(name, p, m, "s"));
+    }
+    println!(
+        "{}",
+        compare_line("extract (7 replicas)", paper::EXTRACT_MS, data.extract_s * 1000.0, "ms")
+    );
+    println!("(the paper's 170 ms includes host-side I/O; ours is on-chip time only)");
+
+    let json = write_json("table1", &data)?;
+    eprintln!("wrote {}", json.display());
+    Ok(())
+}

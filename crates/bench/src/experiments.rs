@@ -1,0 +1,606 @@
+//! The experiments themselves — one function per paper figure/table.
+//!
+//! Every function is deterministic given its seed and returns a
+//! `serde`-serializable result; the binaries print tables and dump JSON/CSV.
+
+use serde::Serialize;
+
+use flashmark_core::{
+    analyze_segment, characterize_segment, select_t_pew, CoreError, Extractor, FlashmarkConfig,
+    Imprinter, ReplicaLayout, StressDetector, SweepSpec, Watermark,
+};
+use flashmark_ecc::{Code, Hamming};
+use flashmark_nor::interface::{FlashInterface, FlashInterfaceExt};
+use flashmark_nor::{FlashController, SegmentAddr};
+use flashmark_physics::Micros;
+
+use crate::harness::{precondition_segment, test_chip, uppercase_ascii_watermark};
+
+// ---------------------------------------------------------------- Fig. 4 --
+
+/// One stress level's characterization curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig04Curve {
+    /// Pre-conditioning stress (kcycles).
+    pub kcycles: f64,
+    /// Sweep points `(t_pe_us, cells_0, cells_1)`.
+    pub points: Vec<(f64, usize, usize)>,
+    /// Minimum `tPE` at which every cell reads erased (found by extended
+    /// search when beyond the plot sweep).
+    pub all_erased_us: f64,
+    /// Largest `tPE` at which every cell still reads programmed.
+    pub onset_us: Option<f64>,
+}
+
+/// Fig. 4 data: cells_0/cells_1 vs `tPE` per stress level.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig04Data {
+    /// One curve per stress level.
+    pub curves: Vec<Fig04Curve>,
+}
+
+/// Regenerates Fig. 4.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn fig04(
+    seed: u64,
+    stress_kcycles: &[f64],
+    sweep: &SweepSpec,
+    reads: usize,
+) -> Result<Fig04Data, CoreError> {
+    let mut flash = test_chip(seed);
+    let mut curves = Vec::new();
+    for (i, &k) in stress_kcycles.iter().enumerate() {
+        let seg = SegmentAddr::new(i as u32);
+        precondition_segment(&mut flash, seg, (k * 1000.0) as u64)?;
+        let curve = characterize_segment(&mut flash, seg, sweep, reads)?;
+        let all_erased_us = match curve.all_erased_time() {
+            Some(t) => t.get(),
+            None => all_erased_search(&mut flash, seg, sweep.end, reads)?.get(),
+        };
+        curves.push(Fig04Curve {
+            kcycles: k,
+            points: curve.points.iter().map(|p| (p.t_pe.get(), p.cells_0, p.cells_1)).collect(),
+            all_erased_us,
+            onset_us: curve.onset_time().map(Micros::get),
+        });
+    }
+    Ok(Fig04Data { curves })
+}
+
+/// Searches (coarse-to-exact upward scan) for the minimum `tPE` at which a
+/// full characterization round reads every cell erased.
+fn all_erased_search(
+    flash: &mut FlashController,
+    seg: SegmentAddr,
+    start: Micros,
+    reads: usize,
+) -> Result<Micros, CoreError> {
+    let mut t = start;
+    for _ in 0..200 {
+        t += Micros::new(10.0);
+        flash.erase_segment(seg)?;
+        flash.program_all_zero(seg)?;
+        flash.partial_erase(seg, t)?;
+        let bits = analyze_segment(flash, seg, reads)?;
+        if bits.iter().all(|&b| b) {
+            flash.erase_segment(seg)?;
+            return Ok(t);
+        }
+    }
+    flash.erase_segment(seg)?;
+    Ok(t)
+}
+
+// ---------------------------------------------------------------- Fig. 5 --
+
+/// Fig. 5 data: one-round fresh-vs-stressed discrimination.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig05Data {
+    /// Partial-erase time used.
+    pub t_pew_us: f64,
+    /// Cells distinguishable at `t_pew` (paper: 3833).
+    pub distinguishable: usize,
+    /// Total cells (paper: 4096).
+    pub total: usize,
+    /// Window-search optimum over the sweep.
+    pub best_t_pew_us: f64,
+    /// Distinguishability at the optimum.
+    pub best_distinguishable: usize,
+    /// Programmed-cell counts (fresh, stressed) at `t_pew`.
+    pub programmed_at_t_pew: (usize, usize),
+}
+
+/// Regenerates Fig. 5: fresh vs `stress_kcycles` discrimination around the
+/// paper's 23 µs operating point.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn fig05(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<Fig05Data, CoreError> {
+    let mut flash = test_chip(seed);
+    let fresh_seg = SegmentAddr::new(0);
+    let worn_seg = SegmentAddr::new(1);
+    precondition_segment(&mut flash, worn_seg, (stress_kcycles * 1000.0) as u64)?;
+
+    let sweep = SweepSpec::new(Micros::new(10.0), Micros::new(60.0), Micros::new(1.0))?;
+    let fresh = characterize_segment(&mut flash, fresh_seg, &sweep, 3)?;
+    let worn = characterize_segment(&mut flash, worn_seg, &sweep, 3)?;
+    let window = select_t_pew(&fresh, &worn, 50)?;
+
+    let total = fresh.total_cells();
+    let fresh_prog = fresh.cells_0_at(t_pew) as usize;
+    let worn_prog = worn.cells_0_at(t_pew) as usize;
+    let distinguishable = ((total - fresh_prog) + worn_prog).saturating_sub(total);
+
+    Ok(Fig05Data {
+        t_pew_us: t_pew.get(),
+        distinguishable,
+        total,
+        best_t_pew_us: window.t_pew.get(),
+        best_distinguishable: window.distinguishable,
+        programmed_at_t_pew: (fresh_prog, worn_prog),
+    })
+}
+
+// ---------------------------------------------------------------- Fig. 9 --
+
+/// One BER-vs-`tPE` series.
+#[derive(Debug, Clone, Serialize)]
+pub struct BerSeries {
+    /// Imprint stress (kcycles).
+    pub kcycles: f64,
+    /// Replicas used (1 for Fig. 9).
+    pub replicas: usize,
+    /// `(t_pe_us, ber)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl BerSeries {
+    /// The minimum BER over the sweep and the time it occurs at.
+    #[must_use]
+    pub fn minimum(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("BER is never NaN"))
+    }
+}
+
+/// Fig. 9 data: single-copy, single-read BER vs `tPE` per stress level.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig09Data {
+    /// Fraction of 1-bits in the watermark (the small-`tPE` plateau).
+    pub ones_fraction: f64,
+    /// One series per stress level.
+    pub series: Vec<BerSeries>,
+}
+
+/// Regenerates Fig. 9: a 512-byte upper-case-ASCII watermark imprinted at
+/// each stress level, extracted with a single read and no replication.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn fig09(seed: u64, stress_kcycles: &[f64], sweep: &SweepSpec) -> Result<Fig09Data, CoreError> {
+    let mut flash = test_chip(seed);
+    let geometry = flash.geometry();
+    let wm = uppercase_ascii_watermark(geometry.bytes_per_segment() as usize, seed ^ 0x99);
+    let mut series = Vec::new();
+    for (i, &k) in stress_kcycles.iter().enumerate() {
+        let seg = SegmentAddr::new(i as u32);
+        let points = if k == 0.0 {
+            // No imprint at all: the watermark was never written.
+            ber_sweep(&mut flash, seg, &wm, 1, sweep)?
+        } else {
+            let cfg = FlashmarkConfig::builder()
+                .n_pe((k * 1000.0) as u64)
+                .replicas(1)
+                .reads(1)
+                .build()?;
+            Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+            ber_sweep(&mut flash, seg, &wm, 1, sweep)?
+        };
+        series.push(BerSeries { kcycles: k, replicas: 1, points });
+    }
+    Ok(Fig09Data { ones_fraction: wm.ones_fraction(), series })
+}
+
+fn ber_sweep(
+    flash: &mut FlashController,
+    seg: SegmentAddr,
+    wm: &Watermark,
+    replicas: usize,
+    sweep: &SweepSpec,
+) -> Result<Vec<(f64, f64)>, CoreError> {
+    let mut points = Vec::new();
+    for t in sweep.times() {
+        if t.get() <= 0.0 {
+            continue;
+        }
+        let cfg = FlashmarkConfig::builder()
+            .n_pe(1) // unused during extraction
+            .replicas(replicas)
+            .reads(1)
+            .t_pew(t)
+            .build()?;
+        let extraction = Extractor::new(&cfg).extract(flash, seg, wm.len())?;
+        points.push((t.get(), extraction.ber_against(wm)));
+    }
+    Ok(points)
+}
+
+// --------------------------------------------------------------- Fig. 10 --
+
+/// Fig. 10 data: per-replica extraction of a 30-bit slice plus the
+/// majority-voted recovery.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Data {
+    /// The imprinted reference bits.
+    pub reference: Vec<bool>,
+    /// Extracted bits per replica.
+    pub replicas: Vec<Vec<bool>>,
+    /// Majority-voted recovery.
+    pub recovered: Vec<bool>,
+    /// Per-replica bit errors.
+    pub replica_errors: Vec<usize>,
+    /// Errors in the recovered word (paper: 0).
+    pub recovered_errors: usize,
+    /// Good→bad vs bad→good error split across replicas.
+    pub good_to_bad: usize,
+    /// See above.
+    pub bad_to_good: usize,
+}
+
+/// Regenerates Fig. 10: 7 replicas of a 30-bit vector at 50 K stress,
+/// extracted at `tPEW` = 28 µs, recovered by majority voting.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn fig10(
+    seed: u64,
+    bits: usize,
+    replicas: usize,
+    stress_kcycles: f64,
+    t_pew: Micros,
+) -> Result<Fig10Data, CoreError> {
+    let mut flash = test_chip(seed);
+    let seg = SegmentAddr::new(0);
+    let wm = {
+        let full = uppercase_ascii_watermark(bits.div_ceil(8), seed ^ 0x1010);
+        Watermark::from_bits(full.bits()[..bits].to_vec())?
+    };
+    let cfg = FlashmarkConfig::builder()
+        .n_pe((stress_kcycles * 1000.0) as u64)
+        .replicas(replicas)
+        .t_pew(t_pew)
+        .reads(1)
+        .build()?;
+    Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+    let extraction = Extractor::new(&cfg).extract(&mut flash, seg, wm.len())?;
+
+    let mut replica_bits = Vec::new();
+    let mut replica_errors = Vec::new();
+    let mut good_to_bad = 0;
+    let mut bad_to_good = 0;
+    for r in 0..replicas {
+        let bits_r = extraction.replica(r).to_vec();
+        let errs = extraction.replica_errors(r, &wm);
+        good_to_bad += errs.good_to_bad;
+        bad_to_good += errs.bad_to_good;
+        replica_errors.push(errs.errors());
+        replica_bits.push(bits_r);
+    }
+    let recovered = extraction.bits();
+    let recovered_errors = recovered
+        .iter()
+        .zip(wm.bits())
+        .filter(|(a, b)| a != b)
+        .count();
+    Ok(Fig10Data {
+        reference: wm.bits().to_vec(),
+        replicas: replica_bits,
+        recovered,
+        replica_errors,
+        recovered_errors,
+        good_to_bad,
+        bad_to_good,
+    })
+}
+
+// --------------------------------------------------------------- Fig. 11 --
+
+/// Fig. 11 data: majority-voted BER vs `tPE` for several replica counts and
+/// stress levels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Data {
+    /// One series per `(stress level, replica count)` pair.
+    pub series: Vec<BerSeries>,
+}
+
+/// Regenerates Fig. 11: a watermark imprinted at each stress level with
+/// 3/5/7-way replication, extracted across the `tPE` window, BER after
+/// majority voting.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn fig11(
+    seed: u64,
+    stress_kcycles: &[f64],
+    replica_counts: &[usize],
+    sweep: &SweepSpec,
+    layout: ReplicaLayout,
+) -> Result<Fig11Data, CoreError> {
+    let mut flash = test_chip(seed);
+    let mut series = Vec::new();
+    let mut seg_index = 0u32;
+    for &k in stress_kcycles {
+        for &reps in replica_counts {
+            let seg = SegmentAddr::new(seg_index);
+            seg_index += 1;
+            // Largest watermark that fits with this replication.
+            let data_bits = (4096 / reps).min(512);
+            let wm = {
+                let full = uppercase_ascii_watermark(data_bits.div_ceil(8), seed ^ 0x1111);
+                Watermark::from_bits(full.bits()[..data_bits].to_vec())?
+            };
+            let cfg = FlashmarkConfig::builder()
+                .n_pe((k * 1000.0) as u64)
+                .replicas(reps)
+                .reads(1)
+                .layout(layout)
+                .build()?;
+            Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+
+            let mut points = Vec::new();
+            for t in sweep.times() {
+                if t.get() <= 0.0 {
+                    continue;
+                }
+                let cfg_t = FlashmarkConfig::builder()
+                    .n_pe(1)
+                    .replicas(reps)
+                    .reads(1)
+                    .t_pew(t)
+                    .layout(layout)
+                    .build()?;
+                let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len())?;
+                points.push((t.get(), e.ber_against(&wm)));
+            }
+            series.push(BerSeries { kcycles: k, replicas: reps, points });
+        }
+    }
+    Ok(Fig11Data { series })
+}
+
+// ------------------------------------------------------------ §V timing --
+
+/// §V timing results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Data {
+    /// `(n_pe, baseline_s, accelerated_s, speedup)` rows.
+    pub imprint: Vec<(u64, f64, f64, f64)>,
+    /// Extraction time of a 7-replica record, seconds.
+    pub extract_s: f64,
+}
+
+/// Regenerates the Section V timing numbers.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn table1(seed: u64, cycle_counts: &[u64]) -> Result<Table1Data, CoreError> {
+    let wm = uppercase_ascii_watermark(64, seed ^ 0x71);
+    let mut imprint = Vec::new();
+    let mut seg_index = 0u32;
+    let mut flash = test_chip(seed);
+    for &n in cycle_counts {
+        let mut row = [0.0f64; 2];
+        for (j, accel) in [false, true].into_iter().enumerate() {
+            let seg = SegmentAddr::new(seg_index);
+            seg_index += 1;
+            let cfg = FlashmarkConfig::builder()
+                .n_pe(n)
+                .replicas(7)
+                .accelerated(accel)
+                .build()?;
+            let report = Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+            row[j] = report.elapsed.get();
+        }
+        imprint.push((n, row[0], row[1], row[0] / row[1]));
+    }
+
+    // Extraction time of a 128-bit record with 7 replicas, 3 reads.
+    let cfg = FlashmarkConfig::builder().n_pe(70_000).replicas(7).build()?;
+    let seg = SegmentAddr::new(seg_index);
+    let record_wm = uppercase_ascii_watermark(16, seed ^ 0x72);
+    Imprinter::new(&cfg).imprint(&mut flash, seg, &record_wm)?;
+    let e = Extractor::new(&cfg).extract(&mut flash, seg, record_wm.len())?;
+    Ok(Table1Data { imprint, extract_s: e.elapsed().get() })
+}
+
+// ------------------------------------------------------- ECC ablation ----
+
+/// ECC-vs-replication ablation result.
+#[derive(Debug, Clone, Serialize)]
+pub struct EccAblationData {
+    /// `(scheme, channel_bits, ber_after_decode, record_recovered)` rows.
+    pub rows: Vec<(String, usize, f64, bool)>,
+}
+
+/// Compares 3-way replication against Hamming(15,11) (plain and extended)
+/// protecting the same 128-bit record at the same stress level.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn ecc_ablation(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<EccAblationData, CoreError> {
+    let mut flash = test_chip(seed);
+    let record = uppercase_ascii_watermark(16, seed ^ 0x3C);
+    let n_pe = (stress_kcycles * 1000.0) as u64;
+    let mut rows = Vec::new();
+
+    // 3-way replication via the standard pipeline.
+    {
+        let cfg = FlashmarkConfig::builder()
+            .n_pe(n_pe)
+            .replicas(3)
+            .t_pew(t_pew)
+            .reads(1)
+            .build()?;
+        let seg = SegmentAddr::new(0);
+        Imprinter::new(&cfg).imprint(&mut flash, seg, &record)?;
+        let e = Extractor::new(&cfg).extract(&mut flash, seg, record.len())?;
+        let ber = e.ber_against(&record);
+        rows.push(("replication x3".to_string(), record.len() * 3, ber, ber == 0.0));
+    }
+
+    // Hamming codes: encode the record bits, imprint the codeword with no
+    // replication, decode after extraction.
+    for (name, code) in [("hamming(15,11)", Hamming::new()), ("hamming(16,11) ext", Hamming::extended())] {
+        let codeword = Watermark::from_bits(code.encode(record.bits()))?;
+        let cfg = FlashmarkConfig::builder()
+            .n_pe(n_pe)
+            .replicas(1)
+            .t_pew(t_pew)
+            .reads(1)
+            .build()?;
+        let seg = SegmentAddr::new(if name.contains("ext") { 2 } else { 1 });
+        Imprinter::new(&cfg).imprint(&mut flash, seg, &codeword)?;
+        let e = Extractor::new(&cfg).extract(&mut flash, seg, codeword.len())?;
+        let decoded = code.decode(&e.bits())?;
+        let ber = flashmark_ecc::bits::bit_error_rate(&decoded.data[..record.len()], record.bits());
+        rows.push((name.to_string(), codeword.len(), ber, ber == 0.0));
+    }
+    Ok(EccAblationData { rows })
+}
+
+// ------------------------------------------------------- read majority ---
+
+/// Ablation: effect of the N-read majority (`AnalyzeSegment`) on single-copy
+/// BER near the extraction window.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadMajorityData {
+    /// `(reads, min_ber)` rows at the fixed stress level.
+    pub rows: Vec<(usize, f64)>,
+}
+
+/// Sweeps the read-majority count (the paper's N) at one stress level.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn read_majority_ablation(
+    seed: u64,
+    stress_kcycles: f64,
+    sweep: &SweepSpec,
+    read_counts: &[usize],
+) -> Result<ReadMajorityData, CoreError> {
+    let mut flash = test_chip(seed);
+    let seg = SegmentAddr::new(0);
+    let wm = uppercase_ascii_watermark(512, seed ^ 0x42);
+    let cfg = FlashmarkConfig::builder()
+        .n_pe((stress_kcycles * 1000.0) as u64)
+        .replicas(1)
+        .reads(1)
+        .build()?;
+    Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+
+    let mut rows = Vec::new();
+    for &reads in read_counts {
+        let mut best = f64::INFINITY;
+        for t in sweep.times() {
+            if t.get() <= 0.0 {
+                continue;
+            }
+            let cfg_t = FlashmarkConfig::builder()
+                .n_pe(1)
+                .replicas(1)
+                .reads(reads)
+                .t_pew(t)
+                .build()?;
+            let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len())?;
+            best = best.min(e.ber_against(&wm));
+        }
+        rows.push((reads, best));
+    }
+    Ok(ReadMajorityData { rows })
+}
+
+// ------------------------------------------------------- stress probe ----
+
+/// Recycled-chip detection sweep: stress-detector separation vs prior use.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecycledProbeData {
+    /// `(prior_kcycles, programmed_fraction)` rows at the detector's tPEW.
+    pub rows: Vec<(f64, f64)>,
+}
+
+/// Probes how much prior use the Fig. 5 detector can see.
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn recycled_probe(seed: u64, prior_kcycles: &[f64]) -> Result<RecycledProbeData, CoreError> {
+    let mut flash = test_chip(seed);
+    let det = StressDetector::fig5();
+    let mut rows = Vec::new();
+    for (i, &k) in prior_kcycles.iter().enumerate() {
+        let seg = SegmentAddr::new(i as u32);
+        precondition_segment(&mut flash, seg, (k * 1000.0) as u64)?;
+        let report = det.classify(&mut flash, seg)?;
+        rows.push((k, report.programmed_fraction()));
+    }
+    Ok(RecycledProbeData { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Scaled-down smoke tests; full-scale runs live in the binaries.
+
+    #[test]
+    fn fig04_small() {
+        let sweep = SweepSpec::new(Micros::new(0.0), Micros::new(60.0), Micros::new(10.0)).unwrap();
+        let d = fig04(1, &[0.0, 20.0], &sweep, 1).unwrap();
+        assert_eq!(d.curves.len(), 2);
+        assert!(d.curves[1].all_erased_us > d.curves[0].all_erased_us);
+    }
+
+    #[test]
+    fn fig09_small() {
+        let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(44.0), Micros::new(6.0)).unwrap();
+        let d = fig09(2, &[0.0, 40.0], &sweep).unwrap();
+        let m0 = d.series[0].minimum().unwrap().1;
+        let m40 = d.series[1].minimum().unwrap().1;
+        assert!(m40 < m0, "imprinted segment must beat unimprinted ({m40} vs {m0})");
+    }
+
+    #[test]
+    fn fig10_small() {
+        let d = fig10(3, 30, 7, 50.0, Micros::new(30.0)).unwrap();
+        assert_eq!(d.replicas.len(), 7);
+        assert_eq!(d.recovered.len(), 30);
+        assert!(d.recovered_errors <= 1, "majority recovery should be near-perfect");
+    }
+
+    #[test]
+    fn table1_small() {
+        let d = table1(4, &[1_000]).unwrap();
+        let (_, baseline, accel, speedup) = d.imprint[0];
+        assert!(baseline > accel);
+        assert!(speedup > 2.0);
+        assert!(d.extract_s < 1.0);
+    }
+
+    #[test]
+    fn recycled_probe_monotone() {
+        let d = recycled_probe(5, &[0.0, 30.0]).unwrap();
+        assert!(d.rows[1].1 > d.rows[0].1 + 0.3);
+    }
+}

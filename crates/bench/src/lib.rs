@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every quantitative figure and table of
+//! the Flashmark paper.
+//!
+//! Each experiment is a library function (so integration tests can run
+//! scaled-down versions) with a thin binary wrapper:
+//!
+//! | paper artifact | function | binary |
+//! |---|---|---|
+//! | Fig. 4 — cells vs `tPE` per stress level | [`experiments::fig04`] | `fig04_characterization` |
+//! | Fig. 5 — fresh/50 K discrimination | [`experiments::fig05`] | `fig05_detection` |
+//! | Fig. 9 — single-copy BER vs `tPE` | [`experiments::fig09`] | `fig09_ber_single` |
+//! | Fig. 10 — 7-replica majority recovery | [`experiments::fig10`] | `fig10_replication_majority` |
+//! | Fig. 11 — replication sweep | [`experiments::fig11`] | `fig11_replication_sweep` |
+//! | §V timing | [`experiments::table1`] | `table1_timing` |
+//! | ECC-vs-replication ablation | [`experiments::ecc_ablation`] | `ecc_ablation` |
+//!
+//! `run_all` executes everything and emits a Markdown report comparing
+//! paper numbers with measured ones (the basis of `EXPERIMENTS.md`).
+//!
+//! Run binaries in release mode; the cell-level simulation is hot:
+//!
+//! ```text
+//! cargo run --release -p flashmark-bench --bin fig09_ber_single
+//! ```
+
+pub mod experiments;
+pub mod harness;
+pub mod output;
+pub mod paper;

@@ -1,0 +1,131 @@
+//! Result rendering: aligned console tables, CSV, and JSON artifacts.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Directory experiment artifacts are written into.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("FLASHMARK_RESULTS")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// A simple fixed-width console table that doubles as a CSV writer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders an aligned console table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes an experiment result as pretty JSON into the results dir.
+///
+/// # Errors
+///
+/// I/O or serialization errors.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Formats a paper-vs-measured comparison line.
+#[must_use]
+pub fn compare_line(metric: &str, paper: f64, measured: f64, unit: &str) -> String {
+    let ratio = if paper.abs() > 1e-12 { measured / paper } else { f64::NAN };
+    format!("{metric:<42} paper {paper:>9.2} {unit:<4} measured {measured:>9.2} {unit:<4} (x{ratio:.2})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["tPE (us)", "cells_0"]);
+        t.row(["0", "4096"]);
+        t.row(["35", "0"]);
+        let s = t.render();
+        assert!(s.contains("tPE (us)"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        let dir = std::env::temp_dir().join("flashmark_test_csv");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn compare_line_has_ratio() {
+        let line = compare_line("min BER @40K", 11.8, 10.0, "%");
+        assert!(line.contains("x0.85"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Flashmark configuration: the design-space knobs the paper evaluates.
+
+use flashmark_physics::Micros;
+
+use crate::error::CoreError;
+use crate::layout::ReplicaLayout;
+
+/// Parameters of the imprint/extract procedures.
+///
+/// Defaults follow the paper's recommended operating point: `NPE` = 60 K
+/// stress cycles, 7 replicas, 3-read majority, accelerated imprint, and an
+/// extraction window inside the low-BER valley of Fig. 9/11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashmarkConfig {
+    n_pe: u64,
+    t_pew: Micros,
+    replicas: usize,
+    reads: usize,
+    accelerated: bool,
+    layout: ReplicaLayout,
+}
+
+impl FlashmarkConfig {
+    /// Starts a builder with the recommended defaults.
+    #[must_use]
+    pub fn builder() -> FlashmarkConfigBuilder {
+        FlashmarkConfigBuilder {
+            config: Self {
+                n_pe: 60_000,
+                t_pew: Micros::new(30.0),
+                replicas: 7,
+                reads: 3,
+                accelerated: true,
+                layout: ReplicaLayout::Contiguous,
+            },
+        }
+    }
+
+    /// Number of imprinting P/E stress cycles (`NPE`).
+    #[must_use]
+    pub fn n_pe(&self) -> u64 {
+        self.n_pe
+    }
+
+    /// Partial-erase time used during extraction (`tPEW`).
+    #[must_use]
+    pub fn t_pew(&self) -> Micros {
+        self.t_pew
+    }
+
+    /// Number of watermark replicas (odd).
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of reads per word in `AnalyzeSegment` (odd).
+    #[must_use]
+    pub fn reads(&self) -> usize {
+        self.reads
+    }
+
+    /// Whether imprinting uses the accelerated (early-exit erase) schedule.
+    #[must_use]
+    pub fn accelerated(&self) -> bool {
+        self.accelerated
+    }
+
+    /// Replica placement within the segment.
+    #[must_use]
+    pub fn layout(&self) -> ReplicaLayout {
+        self.layout
+    }
+}
+
+impl Default for FlashmarkConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`FlashmarkConfig`].
+///
+/// # Example
+///
+/// ```
+/// use flashmark_core::FlashmarkConfig;
+/// use flashmark_physics::Micros;
+///
+/// let cfg = FlashmarkConfig::builder()
+///     .n_pe(40_000)
+///     .t_pew(Micros::new(28.0))
+///     .replicas(3)
+///     .build()?;
+/// assert_eq!(cfg.replicas(), 3);
+/// # Ok::<(), flashmark_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashmarkConfigBuilder {
+    config: FlashmarkConfig,
+}
+
+impl FlashmarkConfigBuilder {
+    /// Sets the imprinting stress-cycle count.
+    #[must_use]
+    pub fn n_pe(mut self, n: u64) -> Self {
+        self.config.n_pe = n;
+        self
+    }
+
+    /// Sets the extraction partial-erase time.
+    #[must_use]
+    pub fn t_pew(mut self, t: Micros) -> Self {
+        self.config.t_pew = t;
+        self
+    }
+
+    /// Sets the replica count.
+    #[must_use]
+    pub fn replicas(mut self, k: usize) -> Self {
+        self.config.replicas = k;
+        self
+    }
+
+    /// Sets the per-word read count of the majority analysis.
+    #[must_use]
+    pub fn reads(mut self, n: usize) -> Self {
+        self.config.reads = n;
+        self
+    }
+
+    /// Chooses the imprint schedule.
+    #[must_use]
+    pub fn accelerated(mut self, on: bool) -> Self {
+        self.config.accelerated = on;
+        self
+    }
+
+    /// Chooses the replica layout.
+    #[must_use]
+    pub fn layout(mut self, layout: ReplicaLayout) -> Self {
+        self.config.layout = layout;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] if a knob is out of range: zero `NPE`,
+    /// non-positive `tPEW`, or an even replica/read count (majority voting
+    /// needs odd counts).
+    pub fn build(self) -> Result<FlashmarkConfig, CoreError> {
+        let c = &self.config;
+        if c.n_pe == 0 {
+            return Err(CoreError::Config("n_pe must be non-zero"));
+        }
+        if !c.t_pew.is_finite() || c.t_pew.get() <= 0.0 {
+            return Err(CoreError::Config("t_pew must be positive"));
+        }
+        if c.replicas == 0 || c.replicas.is_multiple_of(2) {
+            return Err(CoreError::Config("replica count must be odd"));
+        }
+        if c.reads == 0 || c.reads.is_multiple_of(2) {
+            return Err(CoreError::Config("read count must be odd"));
+        }
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers_operating_point() {
+        let c = FlashmarkConfig::default();
+        assert_eq!(c.n_pe(), 60_000);
+        assert_eq!(c.replicas(), 7);
+        assert_eq!(c.reads(), 3);
+        assert!(c.accelerated());
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let c = FlashmarkConfig::builder()
+            .n_pe(40_000)
+            .t_pew(Micros::new(23.0))
+            .replicas(3)
+            .reads(5)
+            .accelerated(false)
+            .layout(ReplicaLayout::Interleaved)
+            .build()
+            .unwrap();
+        assert_eq!(c.n_pe(), 40_000);
+        assert_eq!(c.t_pew(), Micros::new(23.0));
+        assert_eq!(c.replicas(), 3);
+        assert_eq!(c.reads(), 5);
+        assert!(!c.accelerated());
+        assert_eq!(c.layout(), ReplicaLayout::Interleaved);
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        assert!(FlashmarkConfig::builder().n_pe(0).build().is_err());
+        assert!(FlashmarkConfig::builder().t_pew(Micros::new(0.0)).build().is_err());
+        assert!(FlashmarkConfig::builder().replicas(4).build().is_err());
+        assert!(FlashmarkConfig::builder().reads(2).build().is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type of the Flashmark algorithms.
+
+use core::fmt;
+
+use flashmark_ecc::CodeError;
+use flashmark_nor::NorError;
+
+/// Errors raised by the Flashmark procedures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The underlying flash interface failed.
+    Flash(NorError),
+    /// A replication/ECC operation failed.
+    Code(CodeError),
+    /// A configuration value was invalid.
+    Config(&'static str),
+    /// A watermark payload was invalid.
+    Watermark(&'static str),
+    /// The watermark (with replicas) does not fit the segment.
+    TooLarge {
+        /// Channel bits needed.
+        needed: usize,
+        /// Cells available in the segment.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Flash(e) => write!(f, "flash interface error: {e}"),
+            Self::Code(e) => write!(f, "code error: {e}"),
+            Self::Config(why) => write!(f, "invalid configuration: {why}"),
+            Self::Watermark(why) => write!(f, "invalid watermark: {why}"),
+            Self::TooLarge { needed, available } => {
+                write!(f, "watermark needs {needed} cells but the segment has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Flash(e) => Some(e),
+            Self::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NorError> for CoreError {
+    fn from(e: NorError) -> Self {
+        Self::Flash(e)
+    }
+}
+
+impl From<CodeError> for CoreError {
+    fn from(e: CodeError) -> Self {
+        Self::Code(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(NorError::Locked);
+        assert!(e.to_string().contains("locked"));
+        assert!(e.source().is_some());
+        let c = CoreError::Config("bad replicas");
+        assert!(c.to_string().contains("bad replicas"));
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn too_large_message() {
+        let e = CoreError::TooLarge { needed: 8192, available: 4096 };
+        assert_eq!(e.to_string(), "watermark needs 8192 cells but the segment has 4096");
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,214 @@
+//! Replica placement within a flash segment.
+//!
+//! The encoded watermark channel (data × replicas) occupies the first cells
+//! of the segment; the remainder is left erased. Two placements are
+//! provided:
+//!
+//! * [`ReplicaLayout::Contiguous`] — replicas back to back, as the paper's
+//!   Fig. 10 shows them;
+//! * [`ReplicaLayout::Interleaved`] — replicas bit-interleaved, so a
+//!   common-mode partial-erase excursion cannot hit the same logical bit in
+//!   every replica (an ablation DESIGN.md calls out).
+
+use flashmark_ecc::{Code, Interleaver, Repetition};
+use flashmark_nor::FlashGeometry;
+
+use crate::error::CoreError;
+
+/// How replicas are placed in the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaLayout {
+    /// Replicas stored back to back.
+    Contiguous,
+    /// Replicas bit-interleaved across the channel region.
+    Interleaved,
+}
+
+/// Maps watermark data bits onto segment cells and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentLayout {
+    data_len: usize,
+    replicas: usize,
+    layout: ReplicaLayout,
+}
+
+impl SegmentLayout {
+    /// Creates a layout for `data_len` watermark bits × `replicas` copies.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for a zero/even replica count or zero data
+    /// length.
+    pub fn new(data_len: usize, replicas: usize, layout: ReplicaLayout) -> Result<Self, CoreError> {
+        if data_len == 0 {
+            return Err(CoreError::Config("data length must be non-zero"));
+        }
+        if replicas == 0 || replicas.is_multiple_of(2) {
+            return Err(CoreError::Config("replica count must be odd"));
+        }
+        Ok(Self { data_len, replicas, layout })
+    }
+
+    /// Watermark data bits.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Replica count.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Channel bits occupied in the segment.
+    #[must_use]
+    pub fn channel_len(&self) -> usize {
+        self.data_len * self.replicas
+    }
+
+    /// Checks the channel fits a segment of this geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooLarge`] otherwise.
+    pub fn check_fits(&self, geometry: FlashGeometry) -> Result<(), CoreError> {
+        let available = geometry.cells_per_segment();
+        if self.channel_len() > available {
+            return Err(CoreError::TooLarge { needed: self.channel_len(), available });
+        }
+        Ok(())
+    }
+
+    fn repetition(&self) -> Repetition {
+        Repetition::new(self.replicas).expect("validated odd in the constructor")
+    }
+
+    /// Encodes data bits into the channel bit string (replicated, possibly
+    /// interleaved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the layout's `data_len`.
+    #[must_use]
+    pub fn encode_channel(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len(), self.data_len, "layout/data length mismatch");
+        let channel = self.repetition().encode(data);
+        match self.layout {
+            ReplicaLayout::Contiguous => channel,
+            ReplicaLayout::Interleaved => Interleaver::new(self.replicas)
+                .expect("non-zero depth")
+                .interleave(&channel)
+                .expect("replica multiple by construction"),
+        }
+    }
+
+    /// Recovers the (de-interleaved) channel from extracted segment bits.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooLarge`] if the segment has fewer cells than the
+    /// channel needs.
+    pub fn slice_channel(&self, segment_bits: &[bool]) -> Result<Vec<bool>, CoreError> {
+        let n = self.channel_len();
+        if segment_bits.len() < n {
+            return Err(CoreError::TooLarge { needed: n, available: segment_bits.len() });
+        }
+        let raw = &segment_bits[..n];
+        Ok(match self.layout {
+            ReplicaLayout::Contiguous => raw.to_vec(),
+            ReplicaLayout::Interleaved => Interleaver::new(self.replicas)
+                .expect("non-zero depth")
+                .deinterleave(raw)
+                .expect("length is a replica multiple"),
+        })
+    }
+
+    /// Builds the full segment program pattern: channel bits in the leading
+    /// cells (bit `b` → cell holds `b`), everything else left erased (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not fit the geometry (call
+    /// [`SegmentLayout::check_fits`] first).
+    #[must_use]
+    pub fn pattern_words(&self, data: &[bool], geometry: FlashGeometry) -> Vec<u16> {
+        self.check_fits(geometry).expect("pattern must fit the segment");
+        let channel = self.encode_channel(data);
+        let mut words = vec![0xFFFFu16; geometry.words_per_segment()];
+        for (i, &bit) in channel.iter().enumerate() {
+            if !bit {
+                words[i / 16] &= !(1 << (i % 16));
+            }
+        }
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn channel_roundtrip_contiguous() {
+        let l = SegmentLayout::new(4, 3, ReplicaLayout::Contiguous).unwrap();
+        let data = bits("1011");
+        let channel = l.encode_channel(&data);
+        assert_eq!(channel.len(), 12);
+        let mut segment = channel.clone();
+        segment.extend([true; 20]); // trailing erased cells
+        assert_eq!(l.slice_channel(&segment).unwrap(), channel);
+    }
+
+    #[test]
+    fn channel_roundtrip_interleaved() {
+        let l = SegmentLayout::new(5, 3, ReplicaLayout::Interleaved).unwrap();
+        let data = bits("10110");
+        let channel = l.encode_channel(&data);
+        let plain = SegmentLayout::new(5, 3, ReplicaLayout::Contiguous)
+            .unwrap()
+            .encode_channel(&data);
+        assert_ne!(channel, plain, "interleaving must permute");
+        // slice_channel undoes the interleave: we get the contiguous form.
+        assert_eq!(l.slice_channel(&channel).unwrap(), plain);
+    }
+
+    #[test]
+    fn pattern_words_place_zeros() {
+        let g = FlashGeometry::single_bank(1);
+        let l = SegmentLayout::new(16, 1, ReplicaLayout::Contiguous).unwrap();
+        // "TC" = 0x5443, LSB-first bits of bytes 0x54, 0x43.
+        let data: Vec<bool> = [0x54u8, 0x43].iter().flat_map(|&b| (0..8).map(move |i| b & (1 << i) != 0)).collect();
+        let words = l.pattern_words(&data, g);
+        assert_eq!(words.len(), 256);
+        assert_eq!(words[0], 0x4354); // low byte in low bits
+        assert!(words[1..].iter().all(|&w| w == 0xFFFF));
+    }
+
+    #[test]
+    fn fits_checks() {
+        let g = FlashGeometry::single_bank(1); // 4096 cells
+        assert!(SegmentLayout::new(128, 7, ReplicaLayout::Contiguous)
+            .unwrap()
+            .check_fits(g)
+            .is_ok()); // 896
+        let too_big = SegmentLayout::new(1000, 5, ReplicaLayout::Contiguous).unwrap();
+        assert!(matches!(too_big.check_fits(g), Err(CoreError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SegmentLayout::new(0, 3, ReplicaLayout::Contiguous).is_err());
+        assert!(SegmentLayout::new(8, 2, ReplicaLayout::Contiguous).is_err());
+    }
+
+    #[test]
+    fn slice_channel_requires_enough_bits() {
+        let l = SegmentLayout::new(8, 3, ReplicaLayout::Contiguous).unwrap();
+        assert!(l.slice_channel(&[true; 10]).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Tamper detection (paper Section V).
+//!
+//! Wear is one-way: an attacker with the chip in hand can stress *more*
+//! cells (turn good → bad) but can never refresh a worn cell (bad → good).
+//! Two defenses make that one-way capability useless:
+//!
+//! * **balance constraints** ([`BalancePolicy`]) — the watermark is encoded
+//!   with a known good/bad ratio (e.g. Manchester-balanced, exactly 50 %);
+//!   any added stress skews the ratio;
+//! * **signatures** — a CRC over the payload is imprinted alongside it (see
+//!   [`WatermarkRecord`](crate::watermark::WatermarkRecord)); flipping any
+//!   payload bit breaks the signature, and the attacker cannot flip
+//!   signature bits in the bad→good direction to compensate.
+//!
+//! [`FlipAsymmetry`] quantifies which direction extracted bits moved
+//! relative to a reference — the forensic view of Fig. 10's observation.
+
+use crate::error::CoreError;
+use crate::watermark::Watermark;
+
+/// A constraint on the fraction of 1-bits ("good" cells) in a watermark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancePolicy {
+    /// Expected fraction of 1-bits.
+    pub expected_ones_fraction: f64,
+    /// Allowed absolute deviation.
+    pub tolerance: f64,
+}
+
+impl BalancePolicy {
+    /// An exact-half policy with the given tolerance — what a
+    /// Manchester-balanced watermark satisfies by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] if the tolerance is not in `(0, 0.5)`.
+    pub fn half(tolerance: f64) -> Result<Self, CoreError> {
+        if !(0.0 < tolerance && tolerance < 0.5) {
+            return Err(CoreError::Config("balance tolerance must be in (0, 0.5)"));
+        }
+        Ok(Self { expected_ones_fraction: 0.5, tolerance })
+    }
+
+    /// Whether a bit string satisfies the policy.
+    #[must_use]
+    pub fn check(&self, bits: &[bool]) -> bool {
+        if bits.is_empty() {
+            return false;
+        }
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        (ones - self.expected_ones_fraction).abs() <= self.tolerance
+    }
+
+    /// Whether a watermark satisfies the policy.
+    #[must_use]
+    pub fn check_watermark(&self, wm: &Watermark) -> bool {
+        self.check(wm.bits())
+    }
+}
+
+/// Directional flip counts between a reference and an observed bit string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlipAsymmetry {
+    /// Bits that went 1 → 0 (good → bad): achievable by an attacker.
+    pub good_to_bad: usize,
+    /// Bits that went 0 → 1 (bad → good): physically impossible to induce;
+    /// any occurrences are extraction noise, not tampering.
+    pub bad_to_good: usize,
+}
+
+impl FlipAsymmetry {
+    /// Compares an observed bit string against the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn between(reference: &[bool], observed: &[bool]) -> Self {
+        assert_eq!(reference.len(), observed.len(), "length mismatch");
+        let mut a = Self::default();
+        for (&r, &o) in reference.iter().zip(observed) {
+            match (r, o) {
+                (true, false) => a.good_to_bad += 1,
+                (false, true) => a.bad_to_good += 1,
+                _ => {}
+            }
+        }
+        a
+    }
+
+    /// Total flips.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.good_to_bad + self.bad_to_good
+    }
+
+    /// Whether the flips are *consistent with tampering*: a meaningful
+    /// number of good→bad flips with (near-)zero bad→good flips. Random
+    /// extraction noise produces flips in both directions (dominated by
+    /// bad→good, per Fig. 10); a stress attack produces strictly one-way
+    /// changes.
+    #[must_use]
+    pub fn looks_tampered(&self, min_flips: usize) -> bool {
+        self.good_to_bad >= min_flips && self.good_to_bad > 4 * self.bad_to_good
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_watermark_passes_half_policy() {
+        let wm = Watermark::from_ascii("SUPPLYCHAIN").unwrap().balanced();
+        let policy = BalancePolicy::half(0.05).unwrap();
+        assert!(policy.check_watermark(&wm));
+    }
+
+    #[test]
+    fn stress_attack_breaks_balance() {
+        let wm = Watermark::from_ascii("OK").unwrap().balanced();
+        let mut attacked = wm.bits().to_vec();
+        // Attacker stresses 8 of the good cells (1 -> 0).
+        let mut flipped = 0;
+        for b in attacked.iter_mut() {
+            if *b && flipped < 8 {
+                *b = false;
+                flipped += 1;
+            }
+        }
+        let policy = BalancePolicy::half(0.05).unwrap();
+        assert!(!policy.check(&attacked));
+    }
+
+    #[test]
+    fn policy_rejects_empty() {
+        assert!(!BalancePolicy::half(0.1).unwrap().check(&[]));
+    }
+
+    #[test]
+    fn policy_tolerance_validated() {
+        assert!(BalancePolicy::half(0.0).is_err());
+        assert!(BalancePolicy::half(0.5).is_err());
+    }
+
+    #[test]
+    fn asymmetry_counts_directions() {
+        let reference = [true, true, false, false];
+        let observed = [false, true, true, false];
+        let a = FlipAsymmetry::between(&reference, &observed);
+        assert_eq!(a.good_to_bad, 1);
+        assert_eq!(a.bad_to_good, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn one_way_flips_look_tampered() {
+        let reference = vec![true; 40];
+        let mut observed = reference.clone();
+        for b in observed.iter_mut().take(10) {
+            *b = false;
+        }
+        let a = FlipAsymmetry::between(&reference, &observed);
+        assert!(a.looks_tampered(5));
+    }
+
+    #[test]
+    fn noise_like_flips_do_not_look_tampered() {
+        // Extraction noise flips mostly bad->good (Fig. 10).
+        let reference = [false; 20];
+        let mut observed = reference;
+        observed[3] = true;
+        observed[11] = true;
+        let a = FlipAsymmetry::between(&reference, &observed);
+        assert!(!a.looks_tampered(1));
+    }
+}

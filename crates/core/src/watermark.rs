@@ -1,0 +1,351 @@
+//! Watermark payloads and the structured manufacturer record.
+//!
+//! A [`Watermark`] is just the bit string imprinted into cell wear (bit `1`
+//! → "good"/fresh cell, bit `0` → "bad"/stressed cell, Fig. 6 of the paper).
+//! [`WatermarkRecord`] is the structured payload the paper describes —
+//! manufacturer ID, die ID, speed grade, accept/reject status — with a
+//! CRC-16 signature so tampering is detectable, plus an optional balanced
+//! (Manchester) encoding that pins the good/bad bit ratio at exactly 50 %.
+
+use flashmark_ecc::crc::crc16;
+use flashmark_ecc::{bits_from_bytes, bytes_from_bits};
+
+use crate::error::CoreError;
+
+/// A watermark bit string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Watermark {
+    bits: Vec<bool>,
+}
+
+impl Watermark {
+    /// Builds a watermark from raw bits.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Watermark`] if `bits` is empty.
+    pub fn from_bits(bits: Vec<bool>) -> Result<Self, CoreError> {
+        if bits.is_empty() {
+            return Err(CoreError::Watermark("watermark must not be empty"));
+        }
+        Ok(Self { bits })
+    }
+
+    /// Builds a watermark from bytes (LSB-first bit order, matching flash
+    /// word layout).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Watermark`] if `bytes` is empty.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        if bytes.is_empty() {
+            return Err(CoreError::Watermark("watermark must not be empty"));
+        }
+        Ok(Self { bits: bits_from_bytes(bytes) })
+    }
+
+    /// Builds a watermark from an ASCII string (the paper's examples use
+    /// upper-case ASCII like `"TC"`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Watermark`] if the string is empty or not ASCII.
+    pub fn from_ascii(s: &str) -> Result<Self, CoreError> {
+        if !s.is_ascii() {
+            return Err(CoreError::Watermark("watermark string must be ASCII"));
+        }
+        Self::from_bytes(s.as_bytes())
+    }
+
+    /// The bits (bit `0` of byte `0` first).
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the watermark has no bits (never true for constructed
+    /// values).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Packs back into bytes (zero-padded final byte).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        bytes_from_bits(&self.bits)
+    }
+
+    /// Reinterprets as an ASCII string if every byte is ASCII.
+    #[must_use]
+    pub fn to_ascii(&self) -> Option<String> {
+        let bytes = self.to_bytes();
+        if bytes.is_ascii() {
+            String::from_utf8(bytes).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Count of 1-bits ("good" cells).
+    #[must_use]
+    pub fn ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Count of 0-bits ("bad"/stressed cells).
+    #[must_use]
+    pub fn zeros(&self) -> usize {
+        self.len() - self.ones()
+    }
+
+    /// Fraction of 1-bits — the small-`tPE` plateau of the paper's Fig. 9.
+    #[must_use]
+    pub fn ones_fraction(&self) -> f64 {
+        self.ones() as f64 / self.len() as f64
+    }
+
+    /// Manchester-balances the watermark: each bit becomes `10` (for 1) or
+    /// `01` (for 0), so exactly half of the imprinted cells are stressed.
+    /// Any tampering (stressing more cells) breaks the balance and is
+    /// detectable — the constraint the paper proposes in Section V.
+    #[must_use]
+    pub fn balanced(&self) -> Watermark {
+        let mut bits = Vec::with_capacity(self.bits.len() * 2);
+        for &b in &self.bits {
+            bits.push(b);
+            bits.push(!b);
+        }
+        Watermark { bits }
+    }
+
+    /// Inverts a Manchester balancing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Watermark`] if the length is odd or a pair is not a
+    /// valid `10`/`01` symbol.
+    pub fn unbalanced(&self) -> Result<Watermark, CoreError> {
+        if !self.bits.len().is_multiple_of(2) {
+            return Err(CoreError::Watermark("balanced watermark must have even length"));
+        }
+        let mut bits = Vec::with_capacity(self.bits.len() / 2);
+        for pair in self.bits.chunks_exact(2) {
+            if pair[0] == pair[1] {
+                return Err(CoreError::Watermark("invalid manchester symbol"));
+            }
+            bits.push(pair[0]);
+        }
+        Watermark::from_bits(bits)
+    }
+}
+
+/// Factory test status imprinted at die sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestStatus {
+    /// The die passed die-sort testing.
+    Accept,
+    /// The die failed; it must never re-enter the supply chain as good.
+    Reject,
+}
+
+impl TestStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            Self::Accept => 0xA5,
+            Self::Reject => 0x5A,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, CoreError> {
+        match b {
+            0xA5 => Ok(Self::Accept),
+            0x5A => Ok(Self::Reject),
+            _ => Err(CoreError::Watermark("invalid test status byte")),
+        }
+    }
+}
+
+/// The structured watermark payload the paper proposes manufacturers
+/// imprint at die sort: identity, grade, test status, and a CRC-16
+/// signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WatermarkRecord {
+    /// Manufacturer identifier.
+    pub manufacturer_id: u16,
+    /// Die identifier (lot/wafer/die packed by the manufacturer).
+    pub die_id: u64,
+    /// Speed grade of the binned part.
+    pub speed_grade: u8,
+    /// Die-sort outcome.
+    pub status: TestStatus,
+    /// Manufacturing date as `(year - 2000) * 100 + week`.
+    pub year_week: u16,
+}
+
+/// Encoded size of a record in bytes (payload + CRC-16).
+pub const RECORD_BYTES: usize = 16;
+/// Encoded size of a record in bits.
+pub const RECORD_BITS: usize = RECORD_BYTES * 8;
+
+impl WatermarkRecord {
+    /// Serializes to the 16-byte wire format (14 payload bytes + CRC-16).
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; RECORD_BYTES] {
+        let mut out = [0u8; RECORD_BYTES];
+        out[0..2].copy_from_slice(&self.manufacturer_id.to_le_bytes());
+        out[2..10].copy_from_slice(&self.die_id.to_le_bytes());
+        out[10] = self.speed_grade;
+        out[11] = self.status.to_byte();
+        out[12..14].copy_from_slice(&self.year_week.to_le_bytes());
+        let crc = crc16(&out[..14]);
+        out[14..16].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses the wire format, verifying the CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Watermark`] on a wrong length, CRC mismatch (bit errors
+    /// or tampering), or invalid status byte.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        if bytes.len() != RECORD_BYTES {
+            return Err(CoreError::Watermark("record must be exactly 16 bytes"));
+        }
+        let crc_stored = u16::from_le_bytes([bytes[14], bytes[15]]);
+        if crc16(&bytes[..14]) != crc_stored {
+            return Err(CoreError::Watermark("record signature (crc) mismatch"));
+        }
+        Ok(Self {
+            manufacturer_id: u16::from_le_bytes([bytes[0], bytes[1]]),
+            die_id: u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")),
+            speed_grade: bytes[10],
+            status: TestStatus::from_byte(bytes[11])?,
+            year_week: u16::from_le_bytes([bytes[12], bytes[13]]),
+        })
+    }
+
+    /// The record as an imprintable watermark.
+    #[must_use]
+    pub fn to_watermark(&self) -> Watermark {
+        Watermark::from_bytes(&self.to_bytes()).expect("record is never empty")
+    }
+
+    /// Parses a record from extracted watermark bits.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Watermark`] on length/CRC/status problems.
+    pub fn from_watermark(wm: &Watermark) -> Result<Self, CoreError> {
+        if wm.len() != RECORD_BITS {
+            return Err(CoreError::Watermark("record watermark must be 128 bits"));
+        }
+        Self::from_bytes(&wm.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> WatermarkRecord {
+        WatermarkRecord {
+            manufacturer_id: 0x7C01,
+            die_id: 0x0123_4567_89AB_CDEF,
+            speed_grade: 3,
+            status: TestStatus::Accept,
+            year_week: 2019 - 2000 + 4700, // arbitrary packed value
+        }
+    }
+
+    #[test]
+    fn ascii_watermark_tc_matches_paper() {
+        // Fig. 6: "TC" = 0x5443 = 01010100 01000011b.
+        let wm = Watermark::from_ascii("TC").unwrap();
+        assert_eq!(wm.len(), 16);
+        assert_eq!(wm.to_bytes(), vec![0x54, 0x43]);
+        assert_eq!(wm.to_ascii().as_deref(), Some("TC"));
+        // 'T' has 3 ones, 'C' has 3 ones.
+        assert_eq!(wm.ones(), 6);
+        assert_eq!(wm.zeros(), 10);
+    }
+
+    #[test]
+    fn empty_and_non_ascii_rejected() {
+        assert!(Watermark::from_ascii("").is_err());
+        assert!(Watermark::from_ascii("héllo").is_err());
+        assert!(Watermark::from_bits(vec![]).is_err());
+        assert!(Watermark::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn balanced_has_exactly_half_ones() {
+        let wm = Watermark::from_ascii("FLASHMARK").unwrap();
+        let bal = wm.balanced();
+        assert_eq!(bal.len(), wm.len() * 2);
+        assert_eq!(bal.ones(), bal.len() / 2);
+        assert_eq!(bal.unbalanced().unwrap(), wm);
+    }
+
+    #[test]
+    fn unbalance_rejects_invalid_symbols() {
+        let bad = Watermark::from_bits(vec![true, true]).unwrap();
+        assert!(bad.unbalanced().is_err());
+        let odd = Watermark::from_bits(vec![true, false, true]).unwrap();
+        assert!(odd.unbalanced().is_err());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = record();
+        let wm = r.to_watermark();
+        assert_eq!(wm.len(), RECORD_BITS);
+        assert_eq!(WatermarkRecord::from_watermark(&wm).unwrap(), r);
+    }
+
+    #[test]
+    fn record_crc_detects_any_single_bit_flip() {
+        let r = record();
+        let bits = r.to_watermark().bits().to_vec();
+        for i in 0..bits.len() {
+            let mut corrupted = bits.clone();
+            corrupted[i] = !corrupted[i];
+            let wm = Watermark::from_bits(corrupted).unwrap();
+            assert!(
+                WatermarkRecord::from_watermark(&wm).is_err(),
+                "flip at {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn reject_status_roundtrips() {
+        let mut r = record();
+        r.status = TestStatus::Reject;
+        let back = WatermarkRecord::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back.status, TestStatus::Reject);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(WatermarkRecord::from_bytes(&[0u8; 15]).is_err());
+        let short = Watermark::from_bits(vec![true; 64]).unwrap();
+        assert!(WatermarkRecord::from_watermark(&short).is_err());
+    }
+
+    #[test]
+    fn ones_fraction_of_uppercase_ascii_near_three_eighths() {
+        // The paper notes the Fig. 9 plateaus sit at the watermark's 1-bit /
+        // 0-bit fractions; upper-case ASCII has 3 ones per ~8 bits.
+        let wm = Watermark::from_ascii("THEQUICKBROWNFOX").unwrap();
+        let f = wm.ones_fraction();
+        assert!((0.3..0.5).contains(&f), "fraction {f}");
+    }
+}

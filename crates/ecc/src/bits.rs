@@ -1,0 +1,85 @@
+//! Bit-slice utilities shared by the codes.
+
+/// Expands bytes into bits, LSB of each byte first (matching the bit order
+/// of flash words in `flashmark-nor`).
+#[must_use]
+pub fn bits_from_bytes(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).map(move |i| b & (1 << i) != 0))
+        .collect()
+}
+
+/// Packs bits back into bytes, LSB first. The final partial byte (if any) is
+/// zero-padded in its high bits.
+#[must_use]
+pub fn bytes_from_bits(bits: &[bool]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| if b { acc | (1 << i) } else { acc })
+        })
+        .collect()
+}
+
+/// Number of positions where the two slices differ.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn hamming_distance(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance needs equal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Fraction of differing positions (bit error rate between two bit strings).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn bit_error_rate(a: &[bool], b: &[bool]) -> f64 {
+    assert!(!a.is_empty(), "bit error rate of empty strings is undefined");
+    hamming_distance(a, b) as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_bits_roundtrip() {
+        let bytes = [0x54u8, 0x43, 0x00, 0xFF, 0xA5];
+        assert_eq!(bytes_from_bits(&bits_from_bytes(&bytes)), bytes);
+    }
+
+    #[test]
+    fn lsb_first_order() {
+        let bits = bits_from_bytes(&[0b0000_0001]);
+        assert!(bits[0]);
+        assert!(!bits[7]);
+    }
+
+    #[test]
+    fn partial_byte_zero_padded() {
+        let bits = [true, false, true];
+        assert_eq!(bytes_from_bits(&bits), vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn distance_and_ber() {
+        let a = [true, true, false, false];
+        let b = [true, false, false, true];
+        assert_eq!(hamming_distance(&a, &b), 2);
+        assert!((bit_error_rate(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn distance_rejects_mismatched_lengths() {
+        let _ = hamming_distance(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,86 @@
+//! CRC signatures for watermark integrity.
+//!
+//! The paper proposes imprinting "watermark signatures" alongside the data
+//! so that tampering (an attacker can only stress *more* cells, i.e. flip
+//! good→bad) cannot go undetected. CRCs are the natural signature at this
+//! scale; all three widths are table-free bitwise implementations (watermark
+//! payloads are tens of bytes, speed is irrelevant).
+
+/// CRC-8 (poly 0x07, init 0x00), as in ATM HEC.
+#[must_use]
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+#[must_use]
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Check values from the canonical "123456789" test vector.
+    const CHECK: &[u8] = b"123456789";
+
+    #[test]
+    fn crc8_check_value() {
+        assert_eq!(crc8(CHECK), 0xF4);
+    }
+
+    #[test]
+    fn crc16_check_value() {
+        assert_eq!(crc16(CHECK), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32(CHECK), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc8(&[]), 0x00);
+        assert_eq!(crc16(&[]), 0xFFFF);
+        assert_eq!(crc32(&[]), 0x0000_0000);
+    }
+
+    #[test]
+    fn single_bit_changes_crc() {
+        let a = b"watermark:TC:ACCEPT";
+        let mut b = a.to_vec();
+        b[3] ^= 0x01;
+        assert_ne!(crc16(a), crc16(&b));
+        assert_ne!(crc32(a), crc32(&b));
+        assert_ne!(crc8(a), crc8(&b));
+    }
+}

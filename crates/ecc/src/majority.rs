@@ -1,0 +1,155 @@
+//! Majority voting primitives.
+//!
+//! Used in two places by the Flashmark procedures: across the N repeated
+//! reads of `AnalyzeSegment` (Fig. 3) and across watermark replicas
+//! (Fig. 10).
+
+/// Majority vote over boolean votes: `true` wins on a strict majority of
+/// `true` votes. With an even count, ties go to `false` (the paper always
+/// uses odd counts, where no tie is possible).
+#[must_use]
+pub fn majority(votes: &[bool]) -> bool {
+    let ones = votes.iter().filter(|&&v| v).count();
+    2 * ones > votes.len()
+}
+
+/// An incremental majority-vote accumulator with soft information.
+///
+/// # Example
+///
+/// ```
+/// use flashmark_ecc::MajorityVote;
+/// let mut v = MajorityVote::new();
+/// v.push(true);
+/// v.push(true);
+/// v.push(false);
+/// assert!(v.winner());
+/// assert_eq!(v.margin(), 1);
+/// assert!(!v.is_unanimous());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MajorityVote {
+    ones: usize,
+    total: usize,
+}
+
+impl MajorityVote {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vote.
+    pub fn push(&mut self, vote: bool) {
+        self.ones += usize::from(vote);
+        self.total += 1;
+    }
+
+    /// Current winner (`false` on an exact tie or an empty tally).
+    #[must_use]
+    pub fn winner(&self) -> bool {
+        2 * self.ones > self.total
+    }
+
+    /// Votes for `true`.
+    #[must_use]
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total votes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Absolute margin between winner and loser counts.
+    #[must_use]
+    pub fn margin(&self) -> usize {
+        let zeros = self.total - self.ones;
+        self.ones.abs_diff(zeros)
+    }
+
+    /// All votes agree (and there is at least one vote).
+    #[must_use]
+    pub fn is_unanimous(&self) -> bool {
+        self.total > 0 && (self.ones == 0 || self.ones == self.total)
+    }
+
+    /// Confidence of the winner: winner votes / total (0.5 on a tie).
+    #[must_use]
+    pub fn confidence(&self) -> f64 {
+        if self.total == 0 {
+            return 0.5;
+        }
+        let winner_votes = self.ones.max(self.total - self.ones);
+        winner_votes as f64 / self.total as f64
+    }
+}
+
+impl FromIterator<bool> for MajorityVote {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for MajorityVote {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_majorities() {
+        assert!(majority(&[true, true, false]));
+        assert!(!majority(&[true, false, false]));
+        assert!(majority(&[true]));
+        assert!(!majority(&[]));
+    }
+
+    #[test]
+    fn even_tie_goes_false() {
+        assert!(!majority(&[true, false]));
+    }
+
+    #[test]
+    fn accumulator_matches_slice_vote() {
+        let votes = [true, false, true, true, false];
+        let acc: MajorityVote = votes.iter().copied().collect();
+        assert_eq!(acc.winner(), majority(&votes));
+        assert_eq!(acc.ones(), 3);
+        assert_eq!(acc.total(), 5);
+        assert_eq!(acc.margin(), 1);
+    }
+
+    #[test]
+    fn unanimity_and_confidence() {
+        let acc: MajorityVote = [true, true, true].into_iter().collect();
+        assert!(acc.is_unanimous());
+        assert!((acc.confidence() - 1.0).abs() < 1e-12);
+        let mixed: MajorityVote = [true, false, false].into_iter().collect();
+        assert!(!mixed.is_unanimous());
+        assert!((mixed.confidence() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(MajorityVote::new().confidence(), 0.5);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut acc = MajorityVote::new();
+        acc.extend([true, true]);
+        acc.extend([false]);
+        assert!(acc.winner());
+        assert_eq!(acc.total(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the NAND chip and adapter semantics.
+
+use proptest::prelude::*;
+
+use flashmark_nand::{BlockAddr, NandChip, NandGeometry, NandWordAdapter, PageAddr};
+use flashmark_nor::interface::FlashInterface;
+use flashmark_nor::WordAddr;
+use flashmark_physics::Micros;
+
+fn chip(seed: u64) -> NandChip {
+    NandChip::new(NandGeometry::tiny(), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Page program is AND with current contents for arbitrary data.
+    #[test]
+    fn page_program_is_and(seed in any::<u64>(), a in any::<u8>(), b in any::<u8>()) {
+        let mut c = chip(seed);
+        let page = PageAddr::new(BlockAddr::new(0), 0);
+        let mut da = vec![0xFFu8; 512];
+        da[7] = a;
+        let mut db = vec![0xFFu8; 512];
+        db[7] = b;
+        c.program_page(page, &da).unwrap();
+        c.program_page(page, &db).unwrap();
+        prop_assert_eq!(c.read_page(page).unwrap()[7], a & b);
+    }
+
+    /// Adapter word addressing round-trips over the whole block.
+    #[test]
+    fn adapter_word_roundtrip(seed in any::<u64>(), word in 0u32..1024, value in any::<u16>()) {
+        let mut a = NandWordAdapter::new(chip(seed));
+        a.program_word(WordAddr::new(word), value).unwrap();
+        prop_assert_eq!(a.read_word(WordAddr::new(word)).unwrap(), value);
+    }
+
+    /// Erase pulses never un-erase cells (monotone erased count).
+    #[test]
+    fn erase_pulses_monotone(seed in any::<u64>(), t1 in 1.0f64..30.0, t2 in 1.0f64..30.0) {
+        let mut c = chip(seed);
+        for p in 0..4 {
+            c.program_page(PageAddr::new(BlockAddr::new(0), p), &vec![0u8; 512]).unwrap();
+        }
+        c.erase_pulse(BlockAddr::new(0), Micros::new(t1)).unwrap();
+        let ones1 = c.ideal_bits(BlockAddr::new(0)).iter().filter(|&&b| b).count();
+        c.erase_pulse(BlockAddr::new(0), Micros::new(t2)).unwrap();
+        let ones2 = c.ideal_bits(BlockAddr::new(0)).iter().filter(|&&b| b).count();
+        prop_assert!(ones2 >= ones1);
+    }
+
+    /// Wear never decreases under any page/block operation sequence.
+    #[test]
+    fn nand_wear_monotone(seed in any::<u64>(), ops in proptest::collection::vec(0u8..3, 1..8)) {
+        let mut c = chip(seed);
+        let mut prev = c.mean_wear(BlockAddr::new(0));
+        for op in ops {
+            match op {
+                0 => {
+                    let _ = c.program_page(PageAddr::new(BlockAddr::new(0), 0), &vec![0u8; 512]);
+                }
+                1 => {
+                    let _ = c.erase_block(BlockAddr::new(0));
+                }
+                _ => {
+                    let _ = c.partial_erase_block(BlockAddr::new(0), Micros::new(10.0));
+                }
+            }
+            let now = c.mean_wear(BlockAddr::new(0));
+            prop_assert!(now >= prev - 1e-12);
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed flash addresses.
+//!
+//! Segments and words are indexed linearly across the whole device; the
+//! [`FlashGeometry`](crate::geometry::FlashGeometry) maps between the two and
+//! into per-cell indices.
+
+use core::fmt;
+
+/// Index of one 512-byte flash segment (the erase granule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SegmentAddr(u32);
+
+impl SegmentAddr {
+    /// Creates a segment address from a linear segment index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The linear segment index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SegmentAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+impl From<u32> for SegmentAddr {
+    fn from(i: u32) -> Self {
+        Self(i)
+    }
+}
+
+/// Index of one 16-bit flash word (the program/read granule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordAddr(u32);
+
+impl WordAddr {
+    /// Creates a word address from a linear word index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The linear word index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The word `offset` words after this one.
+    #[must_use]
+    pub const fn offset(self, offset: u32) -> Self {
+        Self(self.0 + offset)
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word#{}", self.0)
+    }
+}
+
+impl From<u32> for WordAddr {
+    fn from(i: u32) -> Self {
+        Self(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_roundtrip() {
+        let s = SegmentAddr::new(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(SegmentAddr::from(7u32), s);
+        assert_eq!(s.to_string(), "seg#7");
+    }
+
+    #[test]
+    fn word_offset() {
+        let w = WordAddr::new(100);
+        assert_eq!(w.offset(28).index(), 128);
+        assert_eq!(w.to_string(), "word#100");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SegmentAddr::new(1) < SegmentAddr::new(2));
+        assert!(WordAddr::new(5) < WordAddr::new(6));
+    }
+}

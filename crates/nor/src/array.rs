@@ -1,0 +1,558 @@
+//! The cell array: per-segment cell state over the physics models.
+//!
+//! The array is purely about cell *state*; timing and command sequencing
+//! live in [`FlashController`](crate::controller::FlashController). Segments
+//! are materialized lazily — simulating a 256 KB device costs memory only
+//! for the segments an experiment actually touches.
+
+use std::collections::HashMap;
+
+use flashmark_physics::cell::{sense, CellState, CellStatics};
+use flashmark_physics::erase::{apply_erase, t_full_us};
+use flashmark_physics::noise::PulseNoise;
+use flashmark_physics::program::apply_program;
+use flashmark_physics::retention::apply_bake;
+use flashmark_physics::rng::SplitMix64;
+use flashmark_physics::wear::bulk_pe_stress;
+use flashmark_physics::{Micros, PhysicsParams};
+
+use crate::addr::{SegmentAddr, WordAddr};
+use crate::error::NorError;
+use crate::geometry::{FlashGeometry, WORD_BITS};
+
+/// Cells of one segment: parallel static and dynamic vectors.
+#[derive(Debug, Clone)]
+pub struct SegmentCells {
+    statics: Vec<CellStatics>,
+    states: Vec<CellState>,
+}
+
+impl SegmentCells {
+    fn materialize(params: &PhysicsParams, chip_seed: u64, base_cell: u64, n: usize) -> Self {
+        let statics: Vec<CellStatics> = (0..n as u64)
+            .map(|i| CellStatics::derive(params, chip_seed, base_cell + i))
+            .collect();
+        let states = statics.iter().map(CellState::fresh).collect();
+        Self { statics, states }
+    }
+
+    /// Static properties of the cells.
+    #[must_use]
+    pub fn statics(&self) -> &[CellStatics] {
+        &self.statics
+    }
+
+    /// Dynamic states of the cells.
+    #[must_use]
+    pub fn states(&self) -> &[CellState] {
+        &self.states
+    }
+}
+
+/// Wear statistics of one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WearStats {
+    /// Minimum wear over the segment's cells (cycles).
+    pub min_cycles: f64,
+    /// Maximum wear over the segment's cells (cycles).
+    pub max_cycles: f64,
+    /// Mean wear over the segment's cells (cycles).
+    pub mean_cycles: f64,
+}
+
+/// The flash cell array of one chip.
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    params: PhysicsParams,
+    geometry: FlashGeometry,
+    chip_seed: u64,
+    segments: HashMap<u32, SegmentCells>,
+    op_rng: SplitMix64,
+    temp_c: f64,
+}
+
+impl FlashArray {
+    /// Creates the array of chip `chip_seed`.
+    #[must_use]
+    pub fn new(params: PhysicsParams, geometry: FlashGeometry, chip_seed: u64) -> Self {
+        Self {
+            params,
+            geometry,
+            chip_seed,
+            segments: HashMap::new(),
+            op_rng: SplitMix64::new(flashmark_physics::rng::mix2(chip_seed, 0x0505_0505)),
+            temp_c: 25.0,
+        }
+    }
+
+    /// Current die temperature (°C). Erase pulses act faster when hot (see
+    /// [`flashmark_physics::erase::erase_temp_factor`]).
+    #[must_use]
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Sets the die temperature for subsequent operations.
+    pub fn set_temperature_c(&mut self, temp_c: f64) {
+        self.temp_c = temp_c;
+    }
+
+    /// The physics parameter set.
+    #[must_use]
+    pub fn params(&self) -> &PhysicsParams {
+        &self.params
+    }
+
+    /// The device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> FlashGeometry {
+        self.geometry
+    }
+
+    /// The chip seed (identity) of this array.
+    #[must_use]
+    pub fn chip_seed(&self) -> u64 {
+        self.chip_seed
+    }
+
+    fn segment_cells(&mut self, seg: SegmentAddr) -> &mut SegmentCells {
+        let n = self.geometry.cells_per_segment();
+        let base_cell = seg.index() as u64 * n as u64;
+        let params = &self.params;
+        let chip_seed = self.chip_seed;
+        self.segments
+            .entry(seg.index())
+            .or_insert_with(|| SegmentCells::materialize(params, chip_seed, base_cell, n))
+    }
+
+    /// Read-only view of a segment's cells (materializing it if needed).
+    pub fn segment(&mut self, seg: SegmentAddr) -> &SegmentCells {
+        self.segment_cells(seg)
+    }
+
+    /// Senses one word with read noise (one fresh noise draw per bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::WordOutOfRange`] for an address past the device.
+    pub fn read_word(&mut self, word: WordAddr) -> Result<u16, NorError> {
+        self.geometry.check_word(word)?;
+        let seg = self.geometry.segment_of(word);
+        let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
+        // Split the op stream first to appease the borrow checker.
+        let mut rng = self.op_rng.fork(word.index() as u64);
+        let params = self.params.clone();
+        let cells = self.segment_cells(seg);
+        let mut value = 0u16;
+        for bit in 0..WORD_BITS {
+            if sense(&params, &cells.states[offset + bit], &mut rng) {
+                value |= 1 << bit;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Noise-free logical value of every cell of a segment (ground truth for
+    /// experiments; not reachable through the digital interface).
+    pub fn ideal_bits(&mut self, seg: SegmentAddr) -> Vec<bool> {
+        let params = self.params.clone();
+        let cells = self.segment_cells(seg);
+        cells.states.iter().map(|s| s.ideal_bit(&params)).collect()
+    }
+
+    /// Programs the 0-bits of `value` into a word (flash semantics: a
+    /// program can only flip bits from 1 to 0).
+    ///
+    /// In `strict` mode, attempting to "program" a bit that is already 0 to
+    /// 1 is reported as [`NorError::OverwriteWithoutErase`]; otherwise the
+    /// result is the AND of old and new contents, as on real parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::WordOutOfRange`] or, in strict mode,
+    /// [`NorError::OverwriteWithoutErase`].
+    pub fn program_word(&mut self, word: WordAddr, value: u16, strict: bool) -> Result<(), NorError> {
+        self.geometry.check_word(word)?;
+        let seg = self.geometry.segment_of(word);
+        let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
+        let mut rng = self.op_rng.fork(0x9806_0000 ^ word.index() as u64);
+        let params = self.params.clone();
+        let cells = self.segment_cells(seg);
+        if strict {
+            for bit in 0..WORD_BITS {
+                let wants_one = value & (1 << bit) != 0;
+                let is_zero = !cells.states[offset + bit].ideal_bit(&params);
+                if wants_one && is_zero {
+                    return Err(NorError::OverwriteWithoutErase { word: word.index() });
+                }
+            }
+        }
+        for bit in 0..WORD_BITS {
+            if value & (1 << bit) == 0 {
+                apply_program(&params, &cells.statics[offset + bit], &mut cells.states[offset + bit], &mut rng);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a *partial program* pulse of duration `t_pp` to every cell of
+    /// a segment (the sweeping-partial-program primitive of the FFD-style
+    /// recycled-flash detectors, paper refs \[6\]/\[7\]). Worn cells program
+    /// faster, so more of them cross the read reference in the same time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
+    pub fn program_pulse(&mut self, seg: SegmentAddr, t_pp: Micros) -> Result<(), NorError> {
+        self.geometry.check_segment(seg)?;
+        let params = self.params.clone();
+        let mut rng = self.op_rng.fork(0x9A27 ^ u64::from(seg.index()));
+        let cells = self.segment_cells(seg);
+        for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
+            flashmark_physics::program::apply_partial_program(
+                &params,
+                st,
+                state,
+                t_pp.get(),
+                &mut rng,
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies an erase pulse of nominal duration `t_pe` to a whole segment,
+    /// with per-pulse common-mode and per-cell jitter.
+    ///
+    /// Returns `true` if every cell completed its erase within the pulse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
+    pub fn erase_pulse(&mut self, seg: SegmentAddr, t_pe: Micros) -> Result<bool, NorError> {
+        self.geometry.check_segment(seg)?;
+        let params = self.params.clone();
+        let pulse = PulseNoise::draw(&params, &mut self.op_rng);
+        let temp = flashmark_physics::erase::erase_temp_factor(&params, self.temp_c);
+        let base_cell = seg.index() as u64 * self.geometry.cells_per_segment() as u64;
+        let cells = self.segment_cells(seg);
+        let mut all_done = true;
+        for (i, (st, state)) in cells.statics.iter().zip(cells.states.iter_mut()).enumerate() {
+            let eff = pulse.effective_us(&params, st, base_cell + i as u64, t_pe.get()) * temp;
+            let out = apply_erase(&params, st, state, eff);
+            all_done &= out.completed;
+        }
+        Ok(all_done)
+    }
+
+    /// Fully erases a segment (a nominal-duration erase always completes:
+    /// even 100 K-cycle cells finish in under a millisecond, far below
+    /// `TERASE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
+    pub fn erase_complete(&mut self, seg: SegmentAddr, nominal: Micros) -> Result<(), NorError> {
+        let done = self.erase_pulse(seg, nominal)?;
+        debug_assert!(done, "nominal erase did not complete; calibration out of range?");
+        Ok(())
+    }
+
+    /// Time until the slowest cell of the segment finishes erasing, from the
+    /// segment's *current* state (used by the early-exit erase).
+    pub fn erase_completion_time(&mut self, seg: SegmentAddr) -> Result<Micros, NorError> {
+        self.geometry.check_segment(seg)?;
+        let params = self.params.clone();
+        let cells = self.segment_cells(seg);
+        let worst = cells
+            .statics
+            .iter()
+            .zip(cells.states.iter())
+            .map(|(st, state)| {
+                let t_full = t_full_us(&params, st, state);
+                let vth_prog = state.vth_prog_now(&params, st);
+                let vth_end = state.vth_erased_now(&params, st);
+                let span = (vth_prog - vth_end).max(1e-9);
+                let remaining = ((state.vth - vth_end) / span).clamp(0.0, 1.0);
+                t_full * remaining
+            })
+            .fold(0.0f64, f64::max);
+        Ok(Micros::new(worst))
+    }
+
+    /// Applies `cycles` P/E cycles of `pattern` to a segment in closed form
+    /// (the fast path behind [`BulkStress`](crate::interface::BulkStress)).
+    ///
+    /// `pattern` holds one word per segment word; 0-bits are programmed every
+    /// cycle, 1-bits only see erase pulses. The segment ends holding
+    /// `pattern` (last operation of an imprint cycle is the program).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] or
+    /// [`NorError::BlockLengthMismatch`].
+    pub fn bulk_stress(
+        &mut self,
+        seg: SegmentAddr,
+        pattern: &[u16],
+        cycles: u64,
+    ) -> Result<(), NorError> {
+        self.geometry.check_segment(seg)?;
+        if pattern.len() != self.geometry.words_per_segment() {
+            return Err(NorError::BlockLengthMismatch {
+                got: pattern.len(),
+                expected: self.geometry.words_per_segment(),
+            });
+        }
+        let params = self.params.clone();
+        let cells = self.segment_cells(seg);
+        for (w, &value) in pattern.iter().enumerate() {
+            for bit in 0..WORD_BITS {
+                let idx = w * WORD_BITS + bit;
+                let programmed = value & (1 << bit) == 0;
+                bulk_pe_stress(
+                    &params,
+                    &cells.statics[idx],
+                    &mut cells.states[idx],
+                    cycles as f64,
+                    programmed,
+                    programmed,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores the chip at `temp_c` for `hours` (retention bake).
+    ///
+    /// Only materialized segments are affected — untouched segments hold no
+    /// charge anyway.
+    pub fn bake(&mut self, hours: f64, temp_c: f64) {
+        let params = self.params.clone();
+        for cells in self.segments.values_mut() {
+            for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
+                apply_bake(&params, st, state, hours, temp_c);
+            }
+        }
+    }
+
+    /// Wear statistics of a segment.
+    pub fn wear_stats(&mut self, seg: SegmentAddr) -> WearStats {
+        let cells = self.segment_cells(seg);
+        let n = cells.states.len() as f64;
+        let mut stats = WearStats { min_cycles: f64::INFINITY, ..WearStats::default() };
+        for s in &cells.states {
+            stats.min_cycles = stats.min_cycles.min(s.wear_cycles);
+            stats.max_cycles = stats.max_cycles.max(s.wear_cycles);
+            stats.mean_cycles += s.wear_cycles / n;
+        }
+        if stats.min_cycles == f64::INFINITY {
+            stats.min_cycles = 0.0;
+        }
+        stats
+    }
+
+    /// Segment indices that have been touched (materialized) so far.
+    #[must_use]
+    pub fn touched_segments(&self) -> Vec<SegmentAddr> {
+        let mut v: Vec<SegmentAddr> = self.segments.keys().map(|&i| SegmentAddr::new(i)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> FlashArray {
+        FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(8), 0xFACE)
+    }
+
+    #[test]
+    fn fresh_array_reads_all_ones() {
+        let mut a = array();
+        assert_eq!(a.read_word(WordAddr::new(0)).unwrap(), 0xFFFF);
+        assert_eq!(a.read_word(WordAddr::new(300)).unwrap(), 0xFFFF);
+    }
+
+    #[test]
+    fn program_then_read_back() {
+        let mut a = array();
+        let w = WordAddr::new(10);
+        a.program_word(w, 0x5443, false).unwrap();
+        assert_eq!(a.read_word(w).unwrap(), 0x5443);
+    }
+
+    #[test]
+    fn program_is_logical_and() {
+        let mut a = array();
+        let w = WordAddr::new(11);
+        a.program_word(w, 0xFF0F, false).unwrap();
+        a.program_word(w, 0x0FFF, false).unwrap();
+        assert_eq!(a.read_word(w).unwrap(), 0x0F0F);
+    }
+
+    #[test]
+    fn strict_program_rejects_overwrite() {
+        let mut a = array();
+        let w = WordAddr::new(12);
+        a.program_word(w, 0x0000, true).unwrap();
+        let err = a.program_word(w, 0xFFFF, true).unwrap_err();
+        assert_eq!(err, NorError::OverwriteWithoutErase { word: 12 });
+    }
+
+    #[test]
+    fn erase_restores_ones() {
+        let mut a = array();
+        let seg = SegmentAddr::new(1);
+        let w = WordAddr::new(256);
+        a.program_word(w, 0x0000, false).unwrap();
+        a.erase_complete(seg, Micros::from_millis(25.0)).unwrap();
+        assert_eq!(a.read_word(w).unwrap(), 0xFFFF);
+    }
+
+    #[test]
+    fn short_pulse_does_not_erase_fresh_segment() {
+        let mut a = array();
+        let seg = SegmentAddr::new(2);
+        for w in a.geometry().segment_words(seg) {
+            a.program_word(w, 0x0000, false).unwrap();
+        }
+        let done = a.erase_pulse(seg, Micros::new(5.0)).unwrap();
+        assert!(!done);
+        let zeros = a.ideal_bits(seg).iter().filter(|&&b| !b).count();
+        assert_eq!(zeros, 4096, "5 µs must not flip any fresh cell");
+    }
+
+    #[test]
+    fn medium_pulse_partially_erases() {
+        let mut a = array();
+        let seg = SegmentAddr::new(3);
+        for w in a.geometry().segment_words(seg) {
+            a.program_word(w, 0x0000, false).unwrap();
+        }
+        // ~median crossing time for fresh cells: a mid-range fraction flips.
+        a.erase_pulse(seg, Micros::new(20.5)).unwrap();
+        let ones = a.ideal_bits(seg).iter().filter(|&&b| b).count();
+        assert!((600..3500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn bulk_stress_accumulates_wear_pattern() {
+        let mut a = array();
+        let seg = SegmentAddr::new(4);
+        let mut pattern = vec![0xFFFFu16; 256];
+        pattern[0] = 0x0000; // first word stressed
+        a.bulk_stress(seg, &pattern, 20_000).unwrap();
+        let cells = a.segment(seg);
+        let stressed = cells.states()[5].wear_cycles;
+        let spared = cells.states()[16 + 5].wear_cycles;
+        assert!(stressed > 19_000.0, "stressed wear {stressed}");
+        assert!(spared < 1_000.0, "spared wear {spared}");
+    }
+
+    #[test]
+    fn bulk_stress_validates_pattern_length() {
+        let mut a = array();
+        let err = a.bulk_stress(SegmentAddr::new(0), &[0u16; 3], 10).unwrap_err();
+        assert!(matches!(err, NorError::BlockLengthMismatch { got: 3, expected: 256 }));
+    }
+
+    #[test]
+    fn worn_segment_erases_slower() {
+        let mut a = array();
+        let fresh_seg = SegmentAddr::new(5);
+        let worn_seg = SegmentAddr::new(6);
+        a.bulk_stress(worn_seg, &vec![0x0000u16; 256], 50_000).unwrap();
+        // Program both fully, then measure completion times.
+        for seg in [fresh_seg, worn_seg] {
+            a.erase_complete(seg, Micros::from_millis(25.0)).unwrap();
+            for w in a.geometry().segment_words(seg) {
+                a.program_word(w, 0x0000, false).unwrap();
+            }
+        }
+        let t_fresh = a.erase_completion_time(fresh_seg).unwrap();
+        let t_worn = a.erase_completion_time(worn_seg).unwrap();
+        assert!(
+            t_worn.get() > t_fresh.get() * 2.0,
+            "worn {t_worn} vs fresh {t_fresh}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_addresses_error() {
+        let mut a = array();
+        assert!(a.read_word(WordAddr::new(8 * 256)).is_err());
+        assert!(a.erase_pulse(SegmentAddr::new(8), Micros::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_chip() {
+        let mut a = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 7);
+        let mut b = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 7);
+        let seg = SegmentAddr::new(0);
+        for arr in [&mut a, &mut b] {
+            for w in arr.geometry().segment_words(seg) {
+                arr.program_word(w, 0x0000, false).unwrap();
+            }
+            arr.erase_pulse(seg, Micros::new(20.0)).unwrap();
+        }
+        assert_eq!(a.ideal_bits(seg), b.ideal_bits(seg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 7);
+        let mut b = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 8);
+        let seg = SegmentAddr::new(0);
+        for arr in [&mut a, &mut b] {
+            for w in arr.geometry().segment_words(seg) {
+                arr.program_word(w, 0x0000, false).unwrap();
+            }
+            arr.erase_pulse(seg, Micros::new(20.0)).unwrap();
+        }
+        assert_ne!(a.ideal_bits(seg), b.ideal_bits(seg));
+    }
+
+    #[test]
+    fn touched_segments_tracks_materialization() {
+        let mut a = array();
+        assert!(a.touched_segments().is_empty());
+        let _ = a.read_word(WordAddr::new(256));
+        let _ = a.read_word(WordAddr::new(0));
+        assert_eq!(a.touched_segments(), vec![SegmentAddr::new(0), SegmentAddr::new(1)]);
+    }
+
+    #[test]
+    fn hot_die_erases_more_cells_per_pulse() {
+        let mut cold = array();
+        let mut hot = array();
+        hot.set_temperature_c(85.0);
+        cold.set_temperature_c(-20.0);
+        assert_eq!(hot.temperature_c(), 85.0);
+        let seg = SegmentAddr::new(0);
+        for a in [&mut cold, &mut hot] {
+            for w in a.geometry().segment_words(seg) {
+                a.program_word(w, 0x0000, false).unwrap();
+            }
+            a.erase_pulse(seg, Micros::new(19.0)).unwrap();
+        }
+        let ones_cold = cold.ideal_bits(seg).iter().filter(|&&b| b).count();
+        let ones_hot = hot.ideal_bits(seg).iter().filter(|&&b| b).count();
+        assert!(
+            ones_hot > ones_cold + 400,
+            "hot {ones_hot} vs cold {ones_cold}: temperature must accelerate erase"
+        );
+    }
+
+    #[test]
+    fn bake_flips_no_wear() {
+        let mut a = array();
+        let seg = SegmentAddr::new(0);
+        a.bulk_stress(seg, &vec![0x0000u16; 256], 10_000).unwrap();
+        let before = a.wear_stats(seg);
+        a.bake(87_600.0, 85.0);
+        let after = a.wear_stats(seg);
+        assert_eq!(before, after);
+    }
+}

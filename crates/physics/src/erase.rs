@@ -1,0 +1,283 @@
+//! Erase (Fowler–Nordheim tunneling) dynamics, including partial erase.
+//!
+//! The observable Flashmark exploits: the time a cell takes to cross the read
+//! reference during an erase grows with accumulated wear. [`t_cross_us`]
+//! gives that time for a cell starting from the fully-programmed level;
+//! [`apply_erase`] advances a cell's threshold voltage through an erase pulse
+//! of a given effective duration (possibly aborted early — a *partial* erase).
+
+use crate::cell::{CellState, CellStatics};
+use crate::params::PhysicsParams;
+
+/// Result of applying an erase pulse to one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EraseOutcome {
+    /// The cell's threshold voltage ended below the read reference
+    /// (it now reads 1).
+    pub crossed: bool,
+    /// The cell reached its fully-erased level (further pulse time would not
+    /// change its state).
+    pub completed: bool,
+}
+
+/// Static time (µs) for this cell to cross the read reference during an
+/// erase, starting from the fully-programmed level, at `wear_cycles` of wear.
+///
+/// This excludes per-pulse jitter (the caller folds jitter into the pulse's
+/// effective duration, see [`crate::noise::PulseNoise`]).
+#[must_use]
+pub fn t_cross_us(params: &PhysicsParams, statics: &CellStatics, wear_cycles: f64) -> f64 {
+    // Heterogeneous wear response: weak responders age at a fraction of the
+    // applied stress (the source of the paper's bad→good extraction errors).
+    let k = wear_cycles * statics.susceptibility / 1000.0;
+    let mut t = params.erase_cal.distribution(k).at(statics.erase_z);
+    if let Some(extra) = statics.straggler_extra {
+        t *= 1.0 + extra;
+    }
+    if let Some(early) = statics.early {
+        if k >= early.activation_kcycles {
+            t *= early.factor;
+        }
+    }
+    t
+}
+
+/// Time (µs) for this cell to reach its *fully erased* level from the
+/// programmed level — longer than [`t_cross_us`] because the threshold keeps
+/// falling after crossing the read reference.
+#[must_use]
+pub fn t_full_us(params: &PhysicsParams, statics: &CellStatics, state: &CellState) -> f64 {
+    let t_cross = t_cross_us(params, statics, state.wear_cycles);
+    let vth_prog = state.vth_prog_now(params, statics);
+    let vth_end = state.vth_erased_now(params, statics);
+    let span_to_ref = vth_prog - params.vref.get();
+    let span_total = vth_prog - vth_end;
+    if span_to_ref <= 0.0 {
+        return t_cross;
+    }
+    t_cross * (span_total / span_to_ref)
+}
+
+/// Applies an erase pulse with effective duration `effective_us` to the cell.
+///
+/// The threshold voltage descends linearly from the programmed level toward
+/// the wear-shifted erased level; the slope is set so that a cell starting
+/// fully programmed crosses the read reference exactly at its
+/// [`t_cross_us`]. Cells that start partially erased finish proportionally
+/// sooner. Wear is accrued in proportion to the tunneling activity actually
+/// performed (see [`crate::params::WearWeights`]).
+pub fn apply_erase(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    effective_us: f64,
+) -> EraseOutcome {
+    debug_assert!(effective_us >= 0.0, "negative pulse duration");
+    let was_programmed = !state.ideal_bit(params);
+    let vth_prog = state.vth_prog_now(params, statics);
+    let vth_end = state.vth_erased_now(params, statics);
+    let t_full = t_full_us(params, statics, state).max(1e-9);
+    let slope = (vth_prog - vth_end).max(0.0) / t_full; // volts per µs
+
+    let start_vth = state.vth;
+    let new_vth = (start_vth - slope * effective_us).max(vth_end);
+
+    // Wear accrues in proportion to the fraction of a full erase performed.
+    let fraction = (effective_us / t_full).min(1.0);
+    let weight = if was_programmed { params.wear.erase } else { params.wear.erase_only };
+    state.wear_cycles += weight * fraction;
+    state.vth = new_vth;
+
+    EraseOutcome {
+        crossed: new_vth < params.vref.get(),
+        completed: new_vth <= vth_end + 1e-12,
+    }
+}
+
+/// Erase-rate acceleration factor at die temperature `temp_c` relative to
+/// the calibration reference: Fowler–Nordheim tunneling runs faster when
+/// hot, so a pulse of nominal duration `t` acts like `t × factor`.
+#[must_use]
+pub fn erase_temp_factor(params: &PhysicsParams, temp_c: f64) -> f64 {
+    const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+    if params.erase_activation_energy_ev == 0.0 {
+        return 1.0;
+    }
+    let t = temp_c + 273.15;
+    let t_ref = params.ref_temp_c + 273.15;
+    (params.erase_activation_energy_ev / BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)).exp()
+}
+
+/// Estimated time (µs) at which **all** `n_cells` cells at uniform wear
+/// `wear_cycles` would read erased — the quantity the paper's Fig. 4 reports
+/// per stress level. Includes straggler headroom.
+#[must_use]
+pub fn all_erased_estimate_us(params: &PhysicsParams, wear_cycles: f64, n_cells: usize) -> f64 {
+    params.erase_cal.all_erased_estimate_us(
+        wear_cycles / 1000.0,
+        n_cells,
+        params.tails.straggler_max_extra,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellStatics, EarlyTrap};
+    use crate::params::PhysicsParams;
+    use crate::program::apply_program;
+    use crate::rng::SplitMix64;
+
+    fn programmed_cell(params: &PhysicsParams, seed: u64, idx: u64) -> (CellStatics, CellState) {
+        let statics = CellStatics::derive(params, seed, idx);
+        let mut state = CellState::fresh(&statics);
+        let mut rng = SplitMix64::new(1);
+        apply_program(params, &statics, &mut state, &mut rng);
+        (statics, state)
+    }
+
+    #[test]
+    fn t_cross_grows_with_wear() {
+        let params = PhysicsParams::msp430_like();
+        let statics = CellStatics::derive(&params, 3, 3);
+        let mut prev = 0.0;
+        for w in [0.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0] {
+            let t = t_cross_us(&params, &statics, w);
+            assert!(t > prev, "t_cross not increasing at wear {w}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fresh_cells_cross_in_paper_window() {
+        // Fig. 4: fresh cells transition between ~18 µs and ~35 µs.
+        let params = PhysicsParams::msp430_like();
+        let mut min_t = f64::INFINITY;
+        let mut max_t: f64 = 0.0;
+        for i in 0..4096u64 {
+            let s = CellStatics::derive(&params, 0x5EED, i);
+            let t = t_cross_us(&params, &s, 0.0);
+            min_t = min_t.min(t);
+            max_t = max_t.max(t);
+        }
+        assert!((12.0..=22.0).contains(&min_t), "min {min_t}");
+        assert!((24.0..=40.0).contains(&max_t), "max {max_t}");
+    }
+
+    #[test]
+    fn full_pulse_erases_programmed_cell() {
+        let params = PhysicsParams::msp430_like();
+        let (statics, mut state) = programmed_cell(&params, 9, 1);
+        let t_full = t_full_us(&params, &statics, &state);
+        let out = apply_erase(&params, &statics, &mut state, t_full * 1.01);
+        assert!(out.crossed && out.completed);
+        assert!(state.ideal_bit(&params));
+    }
+
+    #[test]
+    fn short_pulse_leaves_cell_programmed() {
+        let params = PhysicsParams::msp430_like();
+        let (statics, mut state) = programmed_cell(&params, 9, 2);
+        let t_cross = t_cross_us(&params, &statics, state.wear_cycles);
+        let out = apply_erase(&params, &statics, &mut state, t_cross * 0.5);
+        assert!(!out.crossed);
+        assert!(!state.ideal_bit(&params));
+    }
+
+    #[test]
+    fn crossing_happens_at_t_cross() {
+        let params = PhysicsParams::msp430_like();
+        let (statics, state0) = programmed_cell(&params, 9, 3);
+        let t_cross = t_cross_us(&params, &statics, state0.wear_cycles);
+
+        let mut before = state0;
+        apply_erase(&params, &statics, &mut before, t_cross * 0.98);
+        // Slight slack: the programmed vth has op noise around the nominal
+        // level the slope is derived from.
+        let mut after = state0;
+        apply_erase(&params, &statics, &mut after, t_cross * 1.05);
+        assert!(after.vth < before.vth);
+        assert!(after.ideal_bit(&params), "cell should read 1 just after t_cross");
+    }
+
+    #[test]
+    fn two_partial_pulses_equal_one_full() {
+        let params = PhysicsParams::msp430_like();
+        let (statics, state0) = programmed_cell(&params, 9, 4);
+
+        let mut split = state0;
+        apply_erase(&params, &statics, &mut split, 10.0);
+        apply_erase(&params, &statics, &mut split, 10.0);
+
+        let mut whole = state0;
+        apply_erase(&params, &statics, &mut whole, 20.0);
+
+        // vth path is piecewise linear in elapsed time, so splitting the pulse
+        // must land within the wear-induced slope drift (tiny for 10 µs).
+        assert!((split.vth - whole.vth).abs() < 0.02, "{} vs {}", split.vth, whole.vth);
+    }
+
+    #[test]
+    fn erase_accrues_wear() {
+        let params = PhysicsParams::msp430_like();
+        let (statics, mut state) = programmed_cell(&params, 9, 5);
+        let w0 = state.wear_cycles;
+        apply_erase(&params, &statics, &mut state, 1e4);
+        assert!(state.wear_cycles > w0);
+        assert!((state.wear_cycles - w0 - params.wear.erase).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erase_only_wear_is_small() {
+        let params = PhysicsParams::msp430_like();
+        let statics = CellStatics::derive(&params, 9, 6);
+        let mut state = CellState::fresh(&statics);
+        apply_erase(&params, &statics, &mut state, 1e4);
+        assert!(state.wear_cycles <= params.wear.erase_only + 1e-12);
+    }
+
+    #[test]
+    fn early_trap_speeds_up_erase_after_activation() {
+        let params = PhysicsParams::msp430_like();
+        let mut statics = CellStatics::derive(&params, 9, 7);
+        statics.straggler_extra = None;
+        statics.early = Some(EarlyTrap { activation_kcycles: 30.0, factor: 0.5 });
+        let before = t_cross_us(&params, &statics, 29_000.0);
+        let after = t_cross_us(&params, &statics, 31_000.0);
+        // Wear alone increases t_cross slightly; the trap halves it.
+        assert!(after < before * 0.6, "before {before} after {after}");
+    }
+
+    #[test]
+    fn straggler_slows_erase() {
+        let params = PhysicsParams::msp430_like();
+        let mut base = CellStatics::derive(&params, 9, 8);
+        base.straggler_extra = None;
+        base.early = None;
+        let mut strag = base;
+        strag.straggler_extra = Some(0.3);
+        assert!(
+            t_cross_us(&params, &strag, 0.0) > t_cross_us(&params, &base, 0.0)
+        );
+    }
+
+    #[test]
+    fn temp_factor_reference_and_direction() {
+        let params = PhysicsParams::msp430_like();
+        assert!((erase_temp_factor(&params, params.ref_temp_c) - 1.0).abs() < 1e-12);
+        assert!(erase_temp_factor(&params, 85.0) > 1.3, "hot die erases faster");
+        assert!(erase_temp_factor(&params, -20.0) < 0.8, "cold die erases slower");
+        let mut no_temp = params.clone();
+        no_temp.erase_activation_energy_ev = 0.0;
+        assert_eq!(erase_temp_factor(&no_temp, 125.0), 1.0);
+    }
+
+    #[test]
+    fn all_erased_estimate_matches_paper_scale() {
+        let params = PhysicsParams::msp430_like();
+        let fresh = all_erased_estimate_us(&params, 0.0, 4096);
+        assert!((25.0..=45.0).contains(&fresh), "fresh estimate {fresh}");
+        let worn = all_erased_estimate_us(&params, 100_000.0, 4096);
+        assert!((600.0..=1250.0).contains(&worn), "100K estimate {worn}");
+    }
+}

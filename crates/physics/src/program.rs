@@ -1,0 +1,177 @@
+//! Program (source-side hot-carrier injection) dynamics, including partial
+//! program.
+
+use crate::cell::{CellState, CellStatics};
+use crate::params::PhysicsParams;
+use crate::rng::SplitMix64;
+
+/// Per-operation noise on the programmed threshold voltage, volts.
+///
+/// Programming is a feedback-verified operation on real parts, so the
+/// op-to-op spread is small compared to static variation.
+const PROG_OP_NOISE_SIGMA: f64 = 0.03;
+
+/// Fully programs the cell (drives its threshold voltage to the programmed
+/// level for its current wear, with a small per-operation deviation).
+///
+/// Wear is accrued in proportion to the charge actually injected: programming
+/// an erased cell costs [`WearWeights::program`](crate::params::WearWeights)
+/// cycles, re-programming an already-programmed cell costs almost nothing.
+pub fn apply_program(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    rng: &mut SplitMix64,
+) {
+    let target = state.vth_prog_now(params, statics) + PROG_OP_NOISE_SIGMA * rng.normal();
+    accrue_program_wear(params, statics, state, target);
+    state.vth = state.vth.max(target);
+}
+
+/// Applies a program pulse of `duration_us`, potentially aborted before the
+/// cell reaches the programmed level (a *partial program*).
+///
+/// The threshold voltage rises linearly over the cell's full-program time.
+/// Returns `true` if the cell ended above the read reference (reads 0).
+pub fn apply_partial_program(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    duration_us: f64,
+    rng: &mut SplitMix64,
+) -> bool {
+    debug_assert!(duration_us >= 0.0, "negative pulse duration");
+    let full_target = state.vth_prog_now(params, statics) + PROG_OP_NOISE_SIGMA * rng.normal();
+    let vth_start_level = state.vth_erased_now(params, statics);
+    let span = (full_target - vth_start_level).max(1e-9);
+    let slope = span / effective_prog_time_us(params, statics, state).max(1e-9);
+    let target = (state.vth + slope * duration_us).min(full_target);
+    accrue_program_wear(params, statics, state, target);
+    state.vth = state.vth.max(target);
+    !state.ideal_bit(params)
+}
+
+/// Wear-adjusted full-program time: trap-assisted injection makes worn
+/// cells program faster (floored at 30 % of the fresh time).
+#[must_use]
+pub fn effective_prog_time_us(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &CellState,
+) -> f64 {
+    let k = state.effective_wear_kcycles(statics);
+    statics.prog_time_us * (1.0 - params.prog_speedup_per_kcycle * k).max(0.3)
+}
+
+fn accrue_program_wear(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    target: f64,
+) {
+    let vth_erased = state.vth_erased_now(params, statics);
+    let vth_prog = state.vth_prog_now(params, statics);
+    let span = (vth_prog - vth_erased).max(1e-9);
+    let injected = ((target - state.vth) / span).clamp(0.0, 1.0);
+    state.wear_cycles += params.wear.program * injected;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellStatics;
+    use crate::params::PhysicsParams;
+
+    fn setup(idx: u64) -> (PhysicsParams, CellStatics, CellState, SplitMix64) {
+        let params = PhysicsParams::msp430_like();
+        let statics = CellStatics::derive(&params, 0xAB, idx);
+        let state = CellState::fresh(&statics);
+        (params, statics, state, SplitMix64::new(idx))
+    }
+
+    #[test]
+    fn program_flips_bit_to_zero() {
+        let (params, statics, mut state, mut rng) = setup(1);
+        assert!(state.ideal_bit(&params));
+        apply_program(&params, &statics, &mut state, &mut rng);
+        assert!(!state.ideal_bit(&params));
+    }
+
+    #[test]
+    fn program_from_erased_costs_program_wear() {
+        let (params, statics, mut state, mut rng) = setup(2);
+        apply_program(&params, &statics, &mut state, &mut rng);
+        assert!((state.wear_cycles - params.wear.program).abs() < 0.02);
+    }
+
+    #[test]
+    fn reprogramming_costs_almost_nothing() {
+        let (params, statics, mut state, mut rng) = setup(3);
+        apply_program(&params, &statics, &mut state, &mut rng);
+        let w1 = state.wear_cycles;
+        apply_program(&params, &statics, &mut state, &mut rng);
+        assert!(state.wear_cycles - w1 < 0.05, "rewear {}", state.wear_cycles - w1);
+    }
+
+    #[test]
+    fn partial_program_short_pulse_stays_erased() {
+        let (params, statics, mut state, mut rng) = setup(4);
+        let flipped =
+            apply_partial_program(&params, &statics, &mut state, statics.prog_time_us * 0.05, &mut rng);
+        assert!(!flipped);
+        assert!(state.ideal_bit(&params));
+        assert!(state.vth > statics.vth_erased0, "vth should have moved up");
+    }
+
+    #[test]
+    fn partial_program_full_duration_equals_program() {
+        let (params, statics, mut state, mut rng) = setup(5);
+        let flipped =
+            apply_partial_program(&params, &statics, &mut state, statics.prog_time_us * 2.0, &mut rng);
+        assert!(flipped);
+        assert!(!state.ideal_bit(&params));
+    }
+
+    #[test]
+    fn repeated_partial_pulses_accumulate() {
+        let (params, statics, mut state, mut rng) = setup(6);
+        let step = statics.prog_time_us * 0.3;
+        let mut crossed = false;
+        for _ in 0..5 {
+            crossed = apply_partial_program(&params, &statics, &mut state, step, &mut rng);
+        }
+        assert!(crossed, "five 0.3x pulses must cumulatively program the cell");
+    }
+
+    #[test]
+    fn worn_cells_partially_program_faster() {
+        let (params, statics, _, mut rng) = setup(8);
+        let mut fresh = CellState::fresh(&statics);
+        let mut worn = CellState::fresh(&statics);
+        worn.wear_cycles = 50_000.0;
+        worn.vth = worn.vth_erased_now(&params, &statics);
+        let pulse = statics.prog_time_us * 0.2;
+        apply_partial_program(&params, &statics, &mut fresh, pulse, &mut rng);
+        apply_partial_program(&params, &statics, &mut worn, pulse, &mut rng);
+        let fresh_progress = fresh.vth - statics.vth_erased0;
+        let worn_progress = worn.vth - worn.vth_erased_now(&params, &statics);
+        assert!(
+            worn_progress > fresh_progress * 1.1,
+            "worn {worn_progress} vs fresh {fresh_progress}"
+        );
+        assert!(
+            effective_prog_time_us(&params, &statics, &worn)
+                < effective_prog_time_us(&params, &statics, &fresh)
+        );
+    }
+
+    #[test]
+    fn vth_never_exceeds_programmed_level_by_much() {
+        let (params, statics, mut state, mut rng) = setup(7);
+        for _ in 0..10 {
+            apply_program(&params, &statics, &mut state, &mut rng);
+        }
+        let limit = state.vth_prog_now(&params, &statics) + 0.2;
+        assert!(state.vth <= limit);
+    }
+}

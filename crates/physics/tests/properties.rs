@@ -1,0 +1,148 @@
+//! Property-based tests of the physics invariants Flashmark rests on.
+
+use proptest::prelude::*;
+
+use flashmark_physics::cell::{CellState, CellStatics};
+use flashmark_physics::erase::{apply_erase, t_cross_us, t_full_us};
+use flashmark_physics::program::apply_program;
+use flashmark_physics::retention::apply_bake;
+use flashmark_physics::rng::SplitMix64;
+use flashmark_physics::wear::bulk_pe_stress;
+use flashmark_physics::{PhysicsParams, SusceptibilityTable};
+
+fn params() -> PhysicsParams {
+    PhysicsParams::msp430_like()
+}
+
+proptest! {
+    /// Erase time never decreases as wear accumulates, *except* across an
+    /// early-eraser trap activation (the deliberate discontinuity behind
+    /// the paper's bad→good error asymmetry). On either side of the
+    /// activation — and for the ~98 % of cells without a trap — the
+    /// relationship is monotone: a counterfeiter cannot speed a worn cell
+    /// back up.
+    #[test]
+    fn t_cross_monotone_in_wear(seed in any::<u64>(), idx in 0u64..100_000, w1 in 0.0f64..120_000.0, w2 in 0.0f64..120_000.0) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, idx);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        if let Some(trap) = s.early {
+            let activation = trap.activation_kcycles * 1000.0;
+            let same_side = (lo * s.susceptibility < activation) == (hi * s.susceptibility < activation);
+            prop_assume!(same_side);
+        }
+        prop_assert!(t_cross_us(&p, &s, lo) <= t_cross_us(&p, &s, hi) + 1e-9);
+    }
+
+    /// Even across a trap activation, the erase time never falls below the
+    /// trap-scaled fresh time — a worn cell can look *fresher than it is*,
+    /// but its response still carries its full wear state underneath
+    /// (factor × calibrated time), so no operation resets wear.
+    #[test]
+    fn early_trap_bounds_the_speedup(seed in any::<u64>(), idx in 0u64..100_000, w in 0.0f64..120_000.0) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, idx);
+        let t = t_cross_us(&p, &s, w);
+        let factor = s.early.map_or(1.0, |e| e.factor);
+        let floor = t_cross_us(&p, &s, 0.0) * factor;
+        prop_assert!(t >= floor - 1e-9, "t {t} below floor {floor}");
+    }
+
+    /// The full-erase time is never shorter than the crossing time.
+    #[test]
+    fn t_full_at_least_t_cross(seed in any::<u64>(), idx in 0u64..100_000, wear in 0.0f64..120_000.0) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, idx);
+        let mut cell = CellState::fresh(&s);
+        cell.wear_cycles = wear;
+        cell.vth = cell.vth_prog_now(&p, &s);
+        prop_assert!(t_full_us(&p, &s, &cell) >= t_cross_us(&p, &s, wear) - 1e-9);
+    }
+
+    /// Erase pulses only move the threshold voltage down (never re-charge).
+    #[test]
+    fn erase_never_raises_vth(seed in any::<u64>(), idx in 0u64..100_000, pulse in 0.0f64..1000.0) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, idx);
+        let mut cell = CellState::fresh(&s);
+        let mut rng = SplitMix64::new(seed ^ 1);
+        apply_program(&p, &s, &mut cell, &mut rng);
+        let v0 = cell.vth;
+        apply_erase(&p, &s, &mut cell, pulse);
+        prop_assert!(cell.vth <= v0 + 1e-12);
+    }
+
+    /// Wear is monotone under ANY sequence of program/erase operations.
+    #[test]
+    fn wear_monotone_under_any_op_sequence(seed in any::<u64>(), ops in proptest::collection::vec(0u8..3, 0..40)) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, 3);
+        let mut cell = CellState::fresh(&s);
+        let mut rng = SplitMix64::new(seed);
+        let mut prev = cell.wear_cycles;
+        for op in ops {
+            match op {
+                0 => apply_program(&p, &s, &mut cell, &mut rng),
+                1 => { apply_erase(&p, &s, &mut cell, rng.range_f64(0.0, 100.0)); }
+                _ => apply_bake(&p, &s, &mut cell, rng.range_f64(0.0, 1e5), 85.0),
+            }
+            prop_assert!(cell.wear_cycles >= prev - 1e-12, "wear decreased");
+            prev = cell.wear_cycles;
+        }
+    }
+
+    /// Bulk stress is linear: n+m cycles equal n cycles then m cycles.
+    #[test]
+    fn bulk_stress_is_additive(seed in any::<u64>(), n in 0u32..50_000, m in 0u32..50_000, programmed in any::<bool>()) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, 9);
+        let mut once = CellState::fresh(&s);
+        bulk_pe_stress(&p, &s, &mut once, f64::from(n) + f64::from(m), programmed, false);
+        let mut twice = CellState::fresh(&s);
+        bulk_pe_stress(&p, &s, &mut twice, f64::from(n), programmed, false);
+        bulk_pe_stress(&p, &s, &mut twice, f64::from(m), programmed, false);
+        prop_assert!((once.wear_cycles - twice.wear_cycles).abs() < 1e-6);
+        prop_assert!((once.vth - twice.vth).abs() < 1e-9);
+    }
+
+    /// Retention bake never changes wear and never raises vth.
+    #[test]
+    fn bake_is_wear_neutral(seed in any::<u64>(), hours in 0.0f64..1e6, temp in -40.0f64..150.0) {
+        let p = params();
+        let s = CellStatics::derive(&p, seed, 11);
+        let mut cell = CellState::fresh(&s);
+        let mut rng = SplitMix64::new(seed);
+        apply_program(&p, &s, &mut cell, &mut rng);
+        let w0 = cell.wear_cycles;
+        let v0 = cell.vth;
+        apply_bake(&p, &s, &mut cell, hours, temp);
+        prop_assert_eq!(cell.wear_cycles, w0);
+        prop_assert!(cell.vth <= v0 + 1e-12);
+    }
+
+    /// The susceptibility quantile function and its CDF are mutual inverses
+    /// on the strictly-increasing part of the table.
+    #[test]
+    fn susceptibility_quantile_cdf_consistent(u in 0.0f64..1.0) {
+        let t = SusceptibilityTable::msp430();
+        let s = t.at(u);
+        let back = t.fraction_below(s);
+        // Piecewise-linear inverse is exact except on flat table plateaus.
+        prop_assert!(back <= u + 0.06, "u {u} -> s {s} -> {back}");
+    }
+
+    /// Susceptibility is monotone in the quantile.
+    #[test]
+    fn susceptibility_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let t = SusceptibilityTable::msp430();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(t.at(lo) <= t.at(hi) + 1e-12);
+    }
+
+    /// Statics derivation is a pure function (any cell, any chip).
+    #[test]
+    fn statics_are_pure(seed in any::<u64>(), idx in any::<u64>()) {
+        let p = params();
+        prop_assert_eq!(CellStatics::derive(&p, seed, idx), CellStatics::derive(&p, seed, idx));
+    }
+}

@@ -1,0 +1,266 @@
+//! Counterfeiter attack models.
+//!
+//! Each attack uses only capabilities a real counterfeiter has: full
+//! *digital* access to the part (erase, program, read — including of the
+//! reserved segment), package re-marking, and unlimited additional
+//! stressing. None of them can remove accumulated wear — that is the
+//! physical one-way property Flashmark rests on.
+
+use flashmark_core::{analyze_segment, CoreError, FlashmarkConfig};
+use flashmark_msp430::DeviceDescriptor;
+use flashmark_nor::interface::{BulkStress, FlashInterface, ImprintTiming};
+use flashmark_nor::SegmentAddr;
+
+use crate::chip::Chip;
+
+/// The attack catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Rewrite the info-memory TLV metadata to claim "accept".
+    /// Defeats current practice; does not touch the wear watermark.
+    MetadataForge,
+    /// Erase the watermark segment and program the *data* pattern of an
+    /// "accept" record. Changes charge, not wear.
+    EraseAndReprogram,
+    /// Stress additional cells of the watermark segment (good → bad) to try
+    /// to turn the record into a different one.
+    StressPadding,
+    /// Read a genuine chip's watermark data and program it onto this
+    /// (fresh, foreign) chip's reserved segment.
+    CloneData,
+}
+
+/// A counterfeiter operation on a chip.
+pub trait Attack {
+    /// Which attack this is.
+    fn kind(&self) -> AttackKind;
+
+    /// Applies the attack.
+    ///
+    /// # Errors
+    ///
+    /// Flash errors (attacks themselves never "fail" logically — their
+    /// futility shows up at verification).
+    fn apply(&self, chip: &mut Chip) -> Result<(), CoreError>;
+}
+
+/// Rewrites the TLV metadata as "accept" (and re-marks the package).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetadataForge;
+
+impl Attack for MetadataForge {
+    fn kind(&self) -> AttackKind {
+        AttackKind::MetadataForge
+    }
+
+    fn apply(&self, chip: &mut Chip) -> Result<(), CoreError> {
+        let seg = SegmentAddr::new(3);
+        let mut d = DeviceDescriptor::read_from(chip.flash.info_mut(), seg)
+            .map_err(CoreError::Flash)?
+            .unwrap_or_default();
+        d.accepted = true;
+        d.write_to(chip.flash.info_mut(), seg).map_err(CoreError::Flash)?;
+        chip.package_marking = format!("{} (re-marked)", chip.package_marking);
+        Ok(())
+    }
+}
+
+/// Erases the watermark segment and programs an arbitrary target bit
+/// pattern as plain data.
+#[derive(Debug, Clone)]
+pub struct EraseAndReprogram {
+    /// The pattern (one word per segment word) the attacker programs.
+    pub pattern: Vec<u16>,
+}
+
+impl Attack for EraseAndReprogram {
+    fn kind(&self) -> AttackKind {
+        AttackKind::EraseAndReprogram
+    }
+
+    fn apply(&self, chip: &mut Chip) -> Result<(), CoreError> {
+        let seg = chip.flash.watermark_segment();
+        chip.flash.erase_segment(seg)?;
+        chip.flash.program_block(seg, &self.pattern)?;
+        Ok(())
+    }
+}
+
+/// Stresses every remaining "good" cell of the watermark region for
+/// `cycles` P/E cycles — the strongest physical tampering available.
+#[derive(Debug, Clone, Copy)]
+pub struct StressPadding {
+    /// Additional stress cycles to apply to the whole segment.
+    pub cycles: u64,
+}
+
+impl Attack for StressPadding {
+    fn kind(&self) -> AttackKind {
+        AttackKind::StressPadding
+    }
+
+    fn apply(&self, chip: &mut Chip) -> Result<(), CoreError> {
+        let seg = chip.flash.watermark_segment();
+        // Stress all cells: wear accumulates on good cells too, turning
+        // them "bad". (Already-bad cells just get worse.)
+        let words = chip.flash.geometry().words_per_segment();
+        chip.flash
+            .bulk_imprint(seg, &vec![0u16; words], self.cycles, ImprintTiming::Accelerated)?;
+        chip.flash.erase_segment(seg)?;
+        Ok(())
+    }
+}
+
+/// Extracts a genuine chip's watermark *data* and programs it onto the
+/// target chip's reserved segment (fresh silicon, no wear).
+#[derive(Debug, Clone)]
+pub struct CloneData {
+    /// The manufacturer's published extraction recipe (the attacker knows
+    /// it too — it is public).
+    pub config: FlashmarkConfig,
+    /// Bits harvested from the genuine donor chip's watermark segment.
+    pub donor_bits: Vec<bool>,
+}
+
+impl CloneData {
+    /// Harvests the watermark-region contents of a donor chip as raw data
+    /// (what a counterfeiter's reader would capture).
+    ///
+    /// # Errors
+    ///
+    /// Flash errors.
+    pub fn harvest(donor: &mut Chip, reads: usize) -> Result<Vec<bool>, CoreError> {
+        let seg = donor.flash.watermark_segment();
+        analyze_segment(&mut donor.flash, seg, reads)
+    }
+}
+
+impl Attack for CloneData {
+    fn kind(&self) -> AttackKind {
+        AttackKind::CloneData
+    }
+
+    fn apply(&self, chip: &mut Chip) -> Result<(), CoreError> {
+        let seg = chip.flash.watermark_segment();
+        let geometry = chip.flash.geometry();
+        chip.flash.erase_segment(seg)?;
+        let mut words = vec![0xFFFFu16; geometry.words_per_segment()];
+        for (i, &bit) in self.donor_bits.iter().enumerate().take(geometry.cells_per_segment()) {
+            if !bit {
+                words[i / 16] &= !(1 << (i % 16));
+            }
+        }
+        chip.flash.program_block(seg, &words)?;
+        Ok(())
+    }
+}
+
+/// The most surgical tamper available: the attacker knows the record layout
+/// and stresses exactly the cells of chosen bit positions (across every
+/// replica), trying to rewrite the record one-way (good → bad only).
+///
+/// The CRC-16 signature defeats it: to land on a *different valid record*
+/// the attacker would have to hit a 2⁻¹⁶ target using only 1→0 flips — and
+/// the `forging_reject_records_by_one_way_flips_never_validates` test
+/// samples that space.
+#[derive(Debug, Clone)]
+pub struct TargetedBitStress {
+    /// Data-bit positions to stress (0-based within the record).
+    pub bit_positions: Vec<usize>,
+    /// Replicas the record was imprinted with.
+    pub replicas: usize,
+    /// Stress cycles to apply to those cells.
+    pub cycles: u64,
+}
+
+impl Attack for TargetedBitStress {
+    fn kind(&self) -> AttackKind {
+        AttackKind::StressPadding
+    }
+
+    fn apply(&self, chip: &mut Chip) -> Result<(), CoreError> {
+        let seg = chip.flash.watermark_segment();
+        let geometry = chip.flash.geometry();
+        let record_bits = flashmark_core::watermark::RECORD_BITS;
+        let mut pattern = vec![0xFFFFu16; geometry.words_per_segment()];
+        for &bit in &self.bit_positions {
+            for r in 0..self.replicas {
+                let cell = r * record_bits + bit;
+                pattern[cell / 16] &= !(1 << (cell % 16));
+            }
+        }
+        chip.flash
+            .bulk_imprint(seg, &pattern, self.cycles, ImprintTiming::Accelerated)?;
+        chip.flash.erase_segment(seg)?;
+        Ok(())
+    }
+}
+
+/// Simulates `cycles` of field use on a code/data segment (what a recycled
+/// chip accumulated in its first life).
+///
+/// # Errors
+///
+/// Flash errors.
+pub fn simulate_field_use(chip: &mut Chip, seg: SegmentAddr, cycles: u64) -> Result<(), CoreError> {
+    let words = chip.flash.geometry().words_per_segment();
+    // Real usage writes varied data; for wear purposes a programmed-everywhere
+    // pattern is the conservative model.
+    chip.flash.bulk_imprint(seg, &vec![0u16; words], cycles, ImprintTiming::Baseline)?;
+    chip.flash.erase_segment(seg)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manufacturer::Manufacturer;
+    use flashmark_core::{TestStatus, Verdict, Verifier};
+    use flashmark_msp430::Msp430Variant;
+
+    fn setup() -> (Manufacturer, Verifier) {
+        let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
+        let m = Manufacturer::new(0x7C01, Msp430Variant::F5438, config.clone());
+        let v = Verifier::new(config, 0x7C01);
+        (m, v)
+    }
+
+    #[test]
+    fn metadata_forge_fools_metadata_but_not_flashmark() {
+        let (mut m, v) = setup();
+        let mut chip = m.produce(0xE1, TestStatus::Reject).unwrap();
+        MetadataForge.apply(&mut chip).unwrap();
+        // Metadata now says accept...
+        let d = DeviceDescriptor::read_from(chip.flash.info_mut(), SegmentAddr::new(3))
+            .unwrap()
+            .unwrap();
+        assert!(d.accepted);
+        // ...but the wear watermark still says reject.
+        let seg = chip.flash.watermark_segment();
+        let report = v.verify(&mut chip.flash, seg).unwrap();
+        assert_ne!(report.verdict, Verdict::Genuine);
+    }
+
+    #[test]
+    fn erase_and_reprogram_cannot_remove_wear() {
+        let (mut m, v) = setup();
+        let mut chip = m.produce(0xE2, TestStatus::Reject).unwrap();
+        let words = chip.flash.geometry().words_per_segment();
+        EraseAndReprogram { pattern: vec![0xFFFFu16; words] }.apply(&mut chip).unwrap();
+        let seg = chip.flash.watermark_segment();
+        let report = v.verify(&mut chip.flash, seg).unwrap();
+        // Extraction reprograms the segment anyway; the reject record is
+        // still read out of the wear.
+        assert_ne!(report.verdict, Verdict::Genuine, "wear survived the reprogram");
+    }
+
+    #[test]
+    fn field_use_wears_segment() {
+        let (mut m, _) = setup();
+        let mut chip = m.produce(0xE3, TestStatus::Accept).unwrap();
+        let seg = SegmentAddr::new(10);
+        simulate_field_use(&mut chip, seg, 30_000).unwrap();
+        let stats = chip.flash.main_mut().wear_stats(seg);
+        assert!(stats.mean_cycles > 29_000.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The system integrator's incoming-inspection workflow.
+
+use flashmark_core::{
+    CoreError, FlashmarkConfig, SegmentCondition, StressDetector, Verdict, Verifier,
+};
+use flashmark_nor::interface::FlashInterface;
+use flashmark_nor::SegmentAddr;
+use flashmark_physics::Micros;
+
+use crate::chip::Chip;
+
+/// What the integrator checks on every incoming part.
+#[derive(Debug, Clone)]
+pub struct InspectionPolicy {
+    /// Verify the Flashmark watermark record.
+    pub verify_watermark: bool,
+    /// Stress-check these user segments for prior (recycled) use.
+    pub recycling_probe_segments: Vec<SegmentAddr>,
+    /// Detector used for the recycling probe.
+    pub stress_detector: StressDetector,
+}
+
+impl InspectionPolicy {
+    /// The full policy: watermark verification plus a sampled recycling
+    /// probe. The integrator does not know where a first life concentrated
+    /// its wear, so probes are spread over the device (the probe count
+    /// trades inspection time against sensitivity to narrowly-worn chips —
+    /// see the `recycled_chips_detected_across_usage_profiles` test).
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors from the detector.
+    pub fn full() -> Result<Self, CoreError> {
+        Self::sampled(8, 0x9A0B)
+    }
+
+    /// A policy probing `count` sampled segments.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors from the detector.
+    pub fn sampled(count: usize, seed: u64) -> Result<Self, CoreError> {
+        // Spread probes over a typical device (512 segments); out-of-range
+        // probes on smaller parts are skipped at inspection time.
+        Ok(Self {
+            verify_watermark: true,
+            recycling_probe_segments: crate::usage::sampled_probe_segments(511, count, seed),
+            stress_detector: StressDetector::new(Micros::new(23.0), 3, 0.5)?,
+        })
+    }
+}
+
+/// The integrator's conclusion about one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipAssessment {
+    /// Watermark verdict (None if the policy skipped it).
+    pub watermark: Option<Verdict>,
+    /// `true` if any probed user segment showed prior stress.
+    pub recycled: bool,
+    /// Overall accept/flag decision.
+    pub accepted: bool,
+}
+
+/// Inspects incoming chips against a manufacturer's published recipe.
+#[derive(Debug, Clone)]
+pub struct SystemIntegrator {
+    verifier: Verifier,
+    policy: InspectionPolicy,
+}
+
+impl SystemIntegrator {
+    /// Creates an integrator trusting `manufacturer_id` with the published
+    /// `config`.
+    ///
+    /// # Errors
+    ///
+    /// Policy construction errors.
+    pub fn new(config: FlashmarkConfig, manufacturer_id: u16) -> Result<Self, CoreError> {
+        Ok(Self {
+            verifier: Verifier::new(config, manufacturer_id),
+            policy: InspectionPolicy::full()?,
+        })
+    }
+
+    /// Uses a custom policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: InspectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Inspects one chip.
+    ///
+    /// # Errors
+    ///
+    /// Flash errors (inspection decisions are in the assessment).
+    pub fn inspect(&self, chip: &mut Chip) -> Result<ChipAssessment, CoreError> {
+        let watermark = if self.policy.verify_watermark {
+            let seg = chip.flash.watermark_segment();
+            Some(self.verifier.verify(&mut chip.flash, seg)?.verdict)
+        } else {
+            None
+        };
+
+        let mut recycled = false;
+        let total = chip.flash.geometry().total_segments();
+        let reserved = chip.flash.watermark_segment();
+        for &seg in &self.policy.recycling_probe_segments {
+            if seg.index() >= total || seg == reserved {
+                continue;
+            }
+            let report = self.policy.stress_detector.classify(&mut chip.flash, seg)?;
+            recycled |= report.verdict == SegmentCondition::Stressed;
+        }
+
+        let watermark_ok = watermark.is_none_or(|v| v == Verdict::Genuine);
+        Ok(ChipAssessment { watermark, recycled, accepted: watermark_ok && !recycled })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counterfeiter::simulate_field_use;
+    use crate::manufacturer::Manufacturer;
+    use flashmark_core::TestStatus;
+    use flashmark_msp430::Msp430Variant;
+
+    fn setup() -> (Manufacturer, SystemIntegrator) {
+        let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
+        let m = Manufacturer::new(0x7C01, Msp430Variant::F5438, config.clone());
+        let i = SystemIntegrator::new(config, 0x7C01).unwrap();
+        (m, i)
+    }
+
+    #[test]
+    fn genuine_chip_accepted() {
+        let (mut m, i) = setup();
+        let mut chip = m.produce(0xAA, TestStatus::Accept).unwrap();
+        let a = i.inspect(&mut chip).unwrap();
+        assert_eq!(a.watermark, Some(Verdict::Genuine));
+        assert!(!a.recycled);
+        assert!(a.accepted);
+    }
+
+    #[test]
+    fn recycled_chip_flagged() {
+        let (mut m, i) = setup();
+        let mut chip = m.produce(0xAB, TestStatus::Accept).unwrap();
+        // First life: a wear-leveled ring over a quarter of the device, the
+        // realistic recycled signature sampled probes are meant to catch.
+        for seg in (0..128).step_by(4) {
+            simulate_field_use(&mut chip, SegmentAddr::new(seg), 40_000).unwrap();
+        }
+        chip.provenance = crate::chip::Provenance::Recycled { prior_cycles: 40_000 };
+        let a = i.inspect(&mut chip).unwrap();
+        assert!(a.recycled, "prior-use wear must be visible");
+        assert!(!a.accepted);
+    }
+
+    #[test]
+    fn rejected_die_not_accepted() {
+        let (mut m, i) = setup();
+        let mut chip = m.produce(0xAC, TestStatus::Reject).unwrap();
+        let a = i.inspect(&mut chip).unwrap();
+        assert!(!a.accepted);
+    }
+}

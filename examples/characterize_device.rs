@@ -1,0 +1,52 @@
+//! Device-family characterization: what the manufacturer does once per
+//! family to publish the extraction window (paper Section III / Fig. 4-5).
+//!
+//! ```text
+//! cargo run --release --example characterize_device
+//! ```
+
+use flashmark::core::{characterize_segment, select_t_pew, SweepSpec};
+use flashmark::msp430::Msp430Flash;
+use flashmark::nor::interface::{BulkStress, FlashInterface, ImprintTiming};
+use flashmark::nor::SegmentAddr;
+use flashmark::physics::Micros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut chip = Msp430Flash::f5438(0xCAFE);
+    let fresh_seg = SegmentAddr::new(10);
+    let worn_seg = SegmentAddr::new(11);
+
+    // Pre-condition one segment with 50 K P/E cycles (closed-form fast path).
+    let words = vec![0u16; chip.geometry().words_per_segment()];
+    chip.bulk_imprint(worn_seg, &words, 50_000, ImprintTiming::Baseline)?;
+
+    // Sweep the partial-erase time on both (Fig. 3 algorithm).
+    let sweep = SweepSpec::new(Micros::new(10.0), Micros::new(60.0), Micros::new(2.0))?;
+    let fresh = characterize_segment(chip.main_mut(), fresh_seg, &sweep, 3)?;
+    let worn = characterize_segment(chip.main_mut(), worn_seg, &sweep, 3)?;
+
+    println!("tPE (µs)   fresh cells_0   50K cells_0");
+    for (f, w) in fresh.points.iter().zip(&worn.points) {
+        println!("{:>7.0}   {:>13}   {:>11}", f.t_pe.get(), f.cells_0, w.cells_0);
+    }
+
+    println!(
+        "\nfresh segment: erase onset {:?}, all erased by {:?}",
+        fresh.onset_time(),
+        fresh.all_erased_time()
+    );
+    println!("50K segment:  all erased by {:?} (often beyond this sweep)", worn.all_erased_time());
+
+    // Pick the published extraction window.
+    let window = select_t_pew(&fresh, &worn, 100)?;
+    println!(
+        "\nchosen tPEW = {} separating {}/{} cells ({:.1}%); usable window {} .. {}",
+        window.t_pew,
+        window.distinguishable,
+        window.total,
+        window.separation() * 100.0,
+        window.window_lo,
+        window.window_hi
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! A full supply-chain sting: a mixed population of genuine chips and every
+//! counterfeiting pathway the paper motivates (fall-out dies, recycled
+//! chips, clones, re-branded parts, stress-tampered parts) goes through
+//! incoming inspection.
+//!
+//! ```text
+//! cargo run --release --example counterfeit_sting
+//! ```
+
+use flashmark::supply::{ScenarioConfig, SupplyChainScenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ScenarioConfig::small(0x57196);
+    config.genuine = 6;
+    config.clones = 2;
+    config.recycled = 2;
+
+    println!(
+        "building population: {} genuine + {} fall-out + {} stress-padded + {} recycled + {} clones + {} rebranded ...",
+        config.genuine, config.fallout, config.stress_padded, config.recycled, config.clones, config.rebranded
+    );
+    let stats = SupplyChainScenario::new(config).run()?;
+
+    println!("\n{stats}\n");
+    println!(
+        "false positives: {}   false negatives: {}",
+        stats.false_positives(),
+        stats.false_negatives()
+    );
+    assert_eq!(stats.false_negatives(), 0, "every counterfeit pathway must be caught");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Die-sort marking and incoming inspection: the paper's headline use case.
+//!
+//! The manufacturer imprints an accept/reject record into every die; a
+//! system integrator later verifies chips without any database or call home.
+//! A counterfeiter who gets hold of a *reject* die cannot flip it to
+//! "accept" — wear is one-way.
+//!
+//! ```text
+//! cargo run --release --example die_sort_and_verify
+//! ```
+
+use flashmark::core::{FlashmarkConfig, TestStatus, Verdict, Verifier};
+use flashmark::msp430::Msp430Variant;
+use flashmark::supply::counterfeiter::{Attack, EraseAndReprogram, MetadataForge};
+use flashmark::supply::Manufacturer;
+
+const TRUSTED_MFG: u16 = 0x7C01;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build()?;
+    let mut fab = Manufacturer::new(TRUSTED_MFG, Msp430Variant::F5438, config.clone());
+
+    // Die sort: one die passes, one fails.
+    let mut good_chip = fab.produce(0x61, TestStatus::Accept)?;
+    let mut bad_chip = fab.produce(0x62, TestStatus::Reject)?;
+
+    // The reject die leaks out of the packaging site. The counterfeiter
+    // forges the plain metadata and rewrites the watermark segment's data.
+    MetadataForge.apply(&mut bad_chip)?;
+    let blank = vec![0xFFFFu16; 256];
+    EraseAndReprogram { pattern: blank }.apply(&mut bad_chip)?;
+
+    // Incoming inspection at the integrator.
+    let verifier = Verifier::new(config, TRUSTED_MFG);
+    for (name, chip) in [("good chip", &mut good_chip), ("laundered reject", &mut bad_chip)] {
+        let seg = chip.flash.watermark_segment();
+        let report = verifier.verify(&mut chip.flash, seg)?;
+        match report.verdict {
+            Verdict::Genuine => {
+                let r = report.record.expect("genuine implies record");
+                println!(
+                    "{name}: GENUINE  (manufacturer {:#06x}, die {}, grade {}, week {})",
+                    r.manufacturer_id, r.die_id, r.speed_grade, r.year_week
+                );
+            }
+            Verdict::Counterfeit(reason) => {
+                println!("{name}: COUNTERFEIT ({reason:?})");
+            }
+        }
+    }
+    Ok(())
+}

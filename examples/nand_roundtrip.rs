@@ -1,0 +1,47 @@
+//! Flashmark on NAND: the same imprint/extract code that drives the MSP430
+//! NOR simulator runs on a simulated SLC NAND part through the
+//! `FlashInterface` adapter — substantiating the paper's conclusion that
+//! the technique "is applicable broadly to NOR and NAND flash memories".
+//!
+//! ```text
+//! cargo run --release --example nand_roundtrip
+//! ```
+
+use flashmark::core::{Extractor, FlashmarkConfig, Imprinter, Watermark};
+use flashmark::nand::{NandChip, NandGeometry, NandWordAdapter};
+use flashmark::nor::SegmentAddr;
+use flashmark::physics::Micros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small-block SLC NAND chip behind the word/segment adapter: one NAND
+    // *block* plays the role of a Flashmark *segment*.
+    let chip = NandChip::new(NandGeometry::tiny(), 0x0AD0);
+    println!("device: {} ({} cells per block)", chip.geometry(), chip.geometry().cells_per_block());
+    let mut flash = NandWordAdapter::new(chip);
+
+    let config = FlashmarkConfig::builder()
+        .n_pe(70_000)
+        .replicas(7)
+        .t_pew(Micros::new(28.0))
+        .build()?;
+    let wm = Watermark::from_ascii("NAND-TOO")?;
+    let seg = SegmentAddr::new(0);
+
+    let report = Imprinter::new(&config).imprint(&mut flash, seg, &wm)?;
+    println!(
+        "imprinted {:?} with {} cycles in {:.0} s (block erase is 2 ms, vs 25 ms on the MSP430 NOR)",
+        wm.to_ascii().unwrap(),
+        report.cycles,
+        report.elapsed.get()
+    );
+
+    let extraction = Extractor::new(&config).extract(&mut flash, seg, wm.len())?;
+    println!(
+        "extracted {:?} with BER {:.2}%",
+        extraction.to_watermark()?.to_ascii().unwrap_or_default(),
+        extraction.ber_against(&wm) * 100.0
+    );
+    assert_eq!(extraction.bits(), wm.bits());
+    println!("identical Imprinter/Extractor code drove NOR and NAND — FlashInterface abstracts the part");
+    Ok(())
+}

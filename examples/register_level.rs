@@ -1,0 +1,51 @@
+//! Driving the flash through the MSP430-style register protocol — what the
+//! firmware running on the real microcontroller actually does: password-
+//! protected `FCTL` writes, mode bits, dummy writes, and the `EMEX`
+//! emergency exit that implements the partial erase.
+//!
+//! ```text
+//! cargo run --release --example register_level
+//! ```
+
+use flashmark::nor::registers::{Fctl, RegisterFront, ERASE, FWKEY, WRT};
+use flashmark::nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr, WordAddr};
+use flashmark::physics::{Micros, PhysicsParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctl = FlashController::new(
+        PhysicsParams::msp430_like(),
+        FlashGeometry::single_bank(4),
+        FlashTimings::msp430(),
+        0xF1F1,
+    );
+    let mut flash = RegisterFront::new(ctl);
+
+    // Power-up state: locked; a write without the password latches KEYV.
+    assert!(flash.write_register(Fctl::Fctl3, 0x0000).is_err());
+    println!("bad-key register write rejected (KEYV latched), as on real parts");
+
+    // Unlock (clear LOCK with the 0xA5 password), select write mode, and
+    // program a word.
+    flash.write_register(Fctl::Fctl3, FWKEY)?;
+    flash.write_register(Fctl::Fctl1, FWKEY | WRT)?;
+    flash.write_word(WordAddr::new(0), 0x5443)?; // "TC"
+    println!("programmed word 0 = {:#06x}", flash.read_word(WordAddr::new(0))?);
+
+    // Fill the segment, then run a partial erase via ERASE + emergency exit.
+    for w in 0..256 {
+        flash.write_word(WordAddr::new(w), 0x0000)?;
+    }
+    flash.write_register(Fctl::Fctl1, FWKEY | ERASE)?;
+    flash.emergency_exit_after(SegmentAddr::new(0), Micros::new(21.0))?;
+
+    let ones: u32 = (0..256)
+        .map(|i| flash.read_word(WordAddr::new(i)).map(u16::count_ones))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .sum();
+    println!(
+        "after a 21 µs partial erase {ones} of 4096 fresh cells already read erased — \
+         the analog wear state is visible through the digital interface"
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # Flashmark
+//!
+//! Umbrella crate for the Flashmark reproduction (DAC 2020): watermarking of
+//! NOR flash memories for counterfeit detection.
+//!
+//! Re-exports every sub-crate under a stable facade:
+//!
+//! * [`physics`] — floating-gate cell physics (wear, erase dynamics, noise).
+//! * [`nor`] — NOR flash array + controller emulation (the digital interface).
+//! * [`msp430`] — MSP430F5438/F5529 device models (the paper's testbed).
+//! * [`nand`] — SLC NAND emulation + adapter (the paper's "applicable to
+//!   NAND too" claim, demonstrated).
+//! * [`core`] — the Flashmark technique: imprint, extract, characterize,
+//!   verify.
+//! * [`ecc`] — replication/majority voting, Hamming codes, CRC signatures.
+//! * [`supply`] — supply-chain scenarios and counterfeiter attack models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flashmark::msp430::Msp430Flash;
+//! use flashmark::core::{FlashmarkConfig, Imprinter, Extractor, Watermark};
+//! use flashmark::nor::SegmentAddr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A simulated MSP430F5438 with its embedded NOR flash.
+//! let mut chip = Msp430Flash::f5438(0xC0FFEE);
+//!
+//! // Imprint the manufacturer's mark into segment 4 with 60 K P/E cycles.
+//! let config = FlashmarkConfig::builder()
+//!     .n_pe(60_000)
+//!     .replicas(7)
+//!     .build()?;
+//! let watermark = Watermark::from_ascii("TC:ACCEPT")?;
+//! let seg = SegmentAddr::new(4);
+//! Imprinter::new(&config).imprint(&mut chip, seg, &watermark)?;
+//!
+//! // Later, a system integrator extracts and checks it.
+//! let extraction = Extractor::new(&config).extract(&mut chip, seg, watermark.len())?;
+//! let recovered = extraction.bits();
+//! assert_eq!(recovered, watermark.bits());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use flashmark_core as core;
+pub use flashmark_ecc as ecc;
+pub use flashmark_msp430 as msp430;
+pub use flashmark_nand as nand;
+pub use flashmark_nor as nor;
+pub use flashmark_physics as physics;
+pub use flashmark_supply as supply;

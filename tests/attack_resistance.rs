@@ -1,0 +1,278 @@
+//! Adversarial integration tests: every capability a counterfeiter has,
+//! and why each fails against the wear watermark.
+
+use flashmark::core::{FlashmarkConfig, TestStatus, Verdict, Verifier, CounterfeitReason};
+use flashmark::msp430::Msp430Variant;
+use flashmark::nor::interface::{BulkStress, FlashInterface, FlashInterfaceExt, ImprintTiming};
+use flashmark::physics::Micros;
+use flashmark::supply::counterfeiter::{Attack, CloneData, EraseAndReprogram, MetadataForge, StressPadding};
+use flashmark::supply::{Chip, Manufacturer, Provenance};
+
+const MFG: u16 = 0x7C01;
+
+fn setup() -> (Manufacturer, Verifier) {
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(80_000)
+        .replicas(7)
+        .t_pew(Micros::new(28.0))
+        .build()
+        .unwrap();
+    (
+        Manufacturer::new(MFG, Msp430Variant::F5438, cfg.clone()),
+        Verifier::new(cfg, MFG),
+    )
+}
+
+fn verdict(verifier: &Verifier, chip: &mut Chip) -> Verdict {
+    let seg = chip.flash.watermark_segment();
+    verifier.verify(&mut chip.flash, seg).unwrap().verdict
+}
+
+#[test]
+fn wear_is_monotone_under_any_attack() {
+    // The physical invariant everything rests on: no digital operation
+    // reduces accumulated wear.
+    let (mut fab, _) = setup();
+    let mut chip = fab.produce(0xA1, TestStatus::Reject).unwrap();
+    let seg = chip.flash.watermark_segment();
+    let before = chip.flash.main_mut().wear_stats(seg);
+
+    // Attack barrage: erase storms, reprogram, more stress.
+    for _ in 0..50 {
+        chip.flash.erase_segment(seg).unwrap();
+        chip.flash.program_all_zero(seg).unwrap();
+    }
+    chip.flash
+        .bulk_imprint(seg, &vec![0xFFFFu16; 256], 10_000, ImprintTiming::Accelerated)
+        .unwrap();
+
+    let after = chip.flash.main_mut().wear_stats(seg);
+    assert!(after.min_cycles >= before.min_cycles - 1e-9);
+    assert!(after.mean_cycles > before.mean_cycles);
+}
+
+#[test]
+fn reject_cannot_become_accept_by_rewriting_data() {
+    let (mut fab, verifier) = setup();
+    let mut chip = fab.produce(0xA2, TestStatus::Reject).unwrap();
+
+    // Program the exact bit pattern of a forged ACCEPT record as plain data.
+    let forged = flashmark::core::WatermarkRecord {
+        manufacturer_id: MFG,
+        die_id: 9999,
+        speed_grade: 3,
+        status: TestStatus::Accept,
+        year_week: 2004,
+    };
+    let cfg = FlashmarkConfig::builder().n_pe(1).replicas(7).build().unwrap();
+    let pattern = flashmark::core::Imprinter::new(&cfg)
+        .pattern(&chip.flash, &forged.to_watermark())
+        .unwrap();
+    EraseAndReprogram { pattern }.apply(&mut chip).unwrap();
+
+    // The verifier never reads the stored data — extraction reprograms the
+    // segment and reads the wear. The REJECT record is still there.
+    match verdict(&verifier, &mut chip) {
+        Verdict::Counterfeit(CounterfeitReason::RejectedDie) => {}
+        other => panic!("forged data fooled the verifier: {other:?}"),
+    }
+}
+
+#[test]
+fn metadata_forgery_changes_nothing() {
+    let (mut fab, verifier) = setup();
+    let mut chip = fab.produce(0xA3, TestStatus::Reject).unwrap();
+    MetadataForge.apply(&mut chip).unwrap();
+    assert_ne!(verdict(&verifier, &mut chip), Verdict::Genuine);
+}
+
+#[test]
+fn stress_padding_is_detected_not_accepted() {
+    // Stressing the whole segment destroys the record; it can never produce
+    // a *valid* different record because the CRC would have to match.
+    let (mut fab, verifier) = setup();
+    let mut chip = fab.produce(0xA4, TestStatus::Reject).unwrap();
+    StressPadding { cycles: 60_000 }.apply(&mut chip).unwrap();
+    match verdict(&verifier, &mut chip) {
+        Verdict::Counterfeit(_) => {}
+        Verdict::Genuine => panic!("stress padding must never yield a genuine verdict"),
+    }
+}
+
+#[test]
+fn cloned_data_on_fresh_silicon_has_no_wear() {
+    let (mut fab, verifier) = setup();
+    let mut donor = fab.produce(0xA5, TestStatus::Accept).unwrap();
+    let bits = CloneData::harvest(&mut donor, 3).unwrap();
+
+    let mut clone = Chip::fresh(Msp430Variant::F5438, 0xFA4E, Provenance::Clone);
+    let cfg = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
+    CloneData { config: cfg, donor_bits: bits }.apply(&mut clone).unwrap();
+
+    assert_eq!(
+        verdict(&verifier, &mut clone),
+        Verdict::Counterfeit(CounterfeitReason::NoWatermark),
+        "data without wear is not a watermark"
+    );
+}
+
+#[test]
+fn partial_stress_tamper_breaks_the_signature() {
+    // A surgical attacker stresses only some cells (good -> bad flips on a
+    // subset). The CRC catches it.
+    let (mut fab, verifier) = setup();
+    let mut chip = fab.produce(0xA6, TestStatus::Reject).unwrap();
+    let seg = chip.flash.watermark_segment();
+
+    // Stress the first 4 words' cells (64 bits of the first replica).
+    let mut pattern = vec![0xFFFFu16; 256];
+    for w in pattern.iter_mut().take(4) {
+        *w = 0x0000;
+    }
+    chip.flash
+        .bulk_imprint(seg, &pattern, 60_000, ImprintTiming::Accelerated)
+        .unwrap();
+
+    match verdict(&verifier, &mut chip) {
+        Verdict::Genuine => panic!("partial tamper slipped through"),
+        Verdict::Counterfeit(_) => {}
+    }
+}
+
+#[test]
+fn targeted_bit_stress_cannot_flip_reject_to_accept() {
+    // The attacker knows the record layout; the status byte's ACCEPT (0xA5)
+    // and REJECT (0x5A) encodings were chosen as complements, so converting
+    // one to the other needs flips in BOTH directions — and the attacker
+    // only has good→bad. Stressing the achievable subset breaks the CRC.
+    use flashmark::supply::counterfeiter::TargetedBitStress;
+    let (mut fab, verifier) = setup();
+    let mut chip = fab.produce(0xA7, TestStatus::Reject).unwrap();
+
+    // Bits the attacker would need to change status byte + fix the CRC:
+    // stress every bit where the forged record wants 0 but the real one has
+    // 1 (the only direction wear can move).
+    let real = flashmark::core::WatermarkRecord {
+        manufacturer_id: MFG,
+        die_id: 1,
+        speed_grade: 3,
+        status: TestStatus::Reject,
+        year_week: 2004,
+    };
+    let forged = flashmark::core::WatermarkRecord { status: TestStatus::Accept, ..real };
+    let real_bits = real.to_watermark();
+    let forged_bits = forged.to_watermark();
+    let achievable: Vec<usize> = real_bits
+        .bits()
+        .iter()
+        .zip(forged_bits.bits())
+        .enumerate()
+        .filter(|(_, (&r, &f))| r && !f) // 1 -> 0 only
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!achievable.is_empty());
+
+    TargetedBitStress { bit_positions: achievable, replicas: 7, cycles: 80_000 }
+        .apply(&mut chip)
+        .unwrap();
+    match verdict(&verifier, &mut chip) {
+        Verdict::Genuine => panic!("targeted stress forged an accept record"),
+        Verdict::Counterfeit(_) => {}
+    }
+}
+
+#[test]
+fn forging_reject_records_by_one_way_flips_never_validates() {
+    // Sample the attacker's whole capability space: arbitrary subsets of
+    // 1→0 flips applied to a signed REJECT record. None may decode as a
+    // valid record with ACCEPT status.
+    use flashmark::core::WatermarkRecord;
+    use flashmark::physics::rng::SplitMix64;
+
+    let real = flashmark::core::WatermarkRecord {
+        manufacturer_id: MFG,
+        die_id: 77,
+        speed_grade: 2,
+        status: TestStatus::Reject,
+        year_week: 2004,
+    };
+    let base = real.to_watermark().bits().to_vec();
+    let one_positions: Vec<usize> =
+        base.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+
+    let mut rng = SplitMix64::new(0xF0496);
+    let mut validated_as_accept = 0;
+    for _ in 0..5000 {
+        let mut forged = base.clone();
+        // Random one-way flip subset.
+        for &pos in &one_positions {
+            if rng.next_f64() < 0.3 {
+                forged[pos] = false;
+            }
+        }
+        let wm = flashmark::core::Watermark::from_bits(forged).unwrap();
+        if let Ok(r) = WatermarkRecord::from_watermark(&wm) {
+            if r.status == TestStatus::Accept {
+                validated_as_accept += 1;
+            }
+        }
+    }
+    assert_eq!(validated_as_accept, 0, "a one-way forgery validated as accept");
+}
+
+#[test]
+fn recycled_chips_detected_across_usage_profiles() {
+    use flashmark::core::StressDetector;
+    use flashmark::supply::{live_first_life, sampled_probe_segments, UsageProfile};
+
+    let (mut fab, _) = setup();
+    let det = StressDetector::fig5();
+
+    // Wide wear (a wear-leveled ring over 1/8 of the device): random probe
+    // sampling finds it reliably.
+    let ring = UsageProfile::CircularBuffer { ring_start: 0, ring_segments: 64, total_erases: 640_000 };
+    let mut chip = fab.produce(0xB0, TestStatus::Accept).unwrap();
+    live_first_life(&mut chip, &ring).unwrap();
+    let probes = sampled_probe_segments(chip.flash.geometry().total_segments() - 1, 24, 99);
+    let hits = probes
+        .into_iter()
+        .filter(|&seg| {
+            det.classify(&mut chip.flash, seg).unwrap().verdict
+                == flashmark::core::SegmentCondition::Stressed
+        })
+        .count();
+    assert!(hits > 0, "sampled probes missed a 64-segment worn ring");
+
+    // Narrow wear (a 4-segment log region): the detector sees it *when a
+    // probe lands there* — probe placement, not sensitivity, is the
+    // limitation for narrowly-worn recycled chips.
+    let logger = UsageProfile::DataLogger { log_start: 16, log_segments: 4, cycles: 40_000 };
+    let mut chip = fab.produce(0xB1, TestStatus::Accept).unwrap();
+    live_first_life(&mut chip, &logger).unwrap();
+    use flashmark::nor::SegmentAddr as Seg;
+    let on_target = det.classify(&mut chip.flash, Seg::new(17)).unwrap();
+    assert_eq!(on_target.verdict, flashmark::core::SegmentCondition::Stressed);
+    let off_target = det.classify(&mut chip.flash, Seg::new(300)).unwrap();
+    assert_eq!(off_target.verdict, flashmark::core::SegmentCondition::Fresh);
+}
+
+#[test]
+fn balanced_encoding_flags_stress_attacks() {
+    use flashmark::core::{BalancePolicy, Watermark};
+    let wm = Watermark::from_ascii("BALANCE-ME").unwrap().balanced();
+    let policy = BalancePolicy::half(0.06).unwrap();
+    assert!(policy.check_watermark(&wm));
+
+    // Any added stress only flips 1 -> 0; flipping >6% of bits breaks the
+    // constraint.
+    let mut attacked = wm.bits().to_vec();
+    let n_flip = attacked.len() / 6;
+    let mut flipped = 0;
+    for b in attacked.iter_mut() {
+        if *b && flipped < n_flip {
+            *b = false;
+            flipped += 1;
+        }
+    }
+    assert!(!policy.check(&attacked));
+}

@@ -1,0 +1,72 @@
+//! Reproducibility: the whole stack is deterministic given seeds.
+
+use flashmark::core::{Extractor, FlashmarkConfig, Imprinter, Watermark};
+use flashmark::msp430::Msp430Flash;
+use flashmark::nor::SegmentAddr;
+use flashmark::supply::{ScenarioConfig, SupplyChainScenario};
+
+fn pipeline(seed: u64) -> Vec<bool> {
+    let mut chip = Msp430Flash::f5438(seed);
+    let seg = chip.watermark_segment();
+    let cfg = FlashmarkConfig::builder().n_pe(40_000).replicas(3).build().unwrap();
+    let wm = Watermark::from_ascii("DETERMINISM").unwrap();
+    Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
+    Extractor::new(&cfg)
+        .extract(&mut chip, seg, wm.len())
+        .unwrap()
+        .channel()
+        .to_vec()
+}
+
+#[test]
+fn same_seed_same_raw_channel() {
+    assert_eq!(pipeline(0xD1), pipeline(0xD1));
+}
+
+#[test]
+fn different_seed_different_raw_channel_noise() {
+    // The decoded watermark should agree, but the raw per-cell channel
+    // (which carries each chip's process variation) should not be
+    // bit-identical between chips.
+    let a = pipeline(0xD2);
+    let b = pipeline(0xD3);
+    assert_ne!(a, b, "two chips should differ somewhere in the raw channel");
+}
+
+#[test]
+fn scenario_statistics_are_reproducible() {
+    let s1 = SupplyChainScenario::new(ScenarioConfig::small(0x5EED)).run().unwrap();
+    let s2 = SupplyChainScenario::new(ScenarioConfig::small(0x5EED)).run().unwrap();
+    assert_eq!(format!("{s1}"), format!("{s2}"));
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    use flashmark::core::SweepSpec;
+    use flashmark::physics::Micros;
+    let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(40.0), Micros::new(10.0)).unwrap();
+    let run = || {
+        let mut chip = Msp430Flash::f5438(0x4E9);
+        let cfg = FlashmarkConfig::builder().n_pe(20_000).replicas(1).reads(1).build().unwrap();
+        let wm = Watermark::from_bits(vec![false; 256]).unwrap();
+        Imprinter::new(&cfg).imprint(&mut chip, SegmentAddr::new(0), &wm).unwrap();
+        sweep
+            .times()
+            .iter()
+            .map(|&t| {
+                let c = FlashmarkConfig::builder()
+                    .n_pe(1)
+                    .replicas(1)
+                    .reads(1)
+                    .t_pew(t)
+                    .build()
+                    .unwrap();
+                Extractor::new(&c)
+                    .extract(&mut chip, SegmentAddr::new(0), wm.len())
+                    .unwrap()
+                    .ber_against(&wm)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

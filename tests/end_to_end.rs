@@ -1,0 +1,134 @@
+//! Cross-crate integration: the full Flashmark pipeline from physics to
+//! supply chain.
+
+use flashmark::core::{
+    Extractor, FlashmarkConfig, Imprinter, TestStatus, Verdict, Verifier, Watermark,
+    WatermarkRecord,
+};
+use flashmark::msp430::{Msp430Flash, Msp430Variant};
+use flashmark::nor::interface::FlashInterface;
+use flashmark::nor::SegmentAddr;
+use flashmark::physics::Micros;
+use flashmark::supply::{Manufacturer, ScenarioConfig, SupplyChainScenario, SystemIntegrator};
+
+fn config() -> FlashmarkConfig {
+    FlashmarkConfig::builder()
+        .n_pe(80_000)
+        .replicas(7)
+        .t_pew(Micros::new(28.0))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn imprint_extract_roundtrip_on_msp430() {
+    let mut chip = Msp430Flash::f5438(0xE2E);
+    let seg = chip.watermark_segment();
+    let cfg = config();
+    let wm = Watermark::from_ascii("FLASHMARK-DAC20").unwrap();
+    Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
+    let e = Extractor::new(&cfg).extract(&mut chip, seg, wm.len()).unwrap();
+    assert_eq!(e.bits(), wm.bits());
+}
+
+#[test]
+fn roundtrip_works_on_both_device_variants() {
+    for variant in [Msp430Variant::F5438, Msp430Variant::F5529] {
+        let mut chip = Msp430Flash::new(variant, 0xAB1E);
+        let seg = chip.watermark_segment();
+        let cfg = config();
+        let wm = Watermark::from_ascii("V").unwrap();
+        Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
+        let e = Extractor::new(&cfg).extract(&mut chip, seg, wm.len()).unwrap();
+        assert_eq!(e.bits(), wm.bits(), "variant {variant:?}");
+    }
+}
+
+#[test]
+fn record_roundtrip_through_manufacturer_and_verifier() {
+    let cfg = config();
+    let mut fab = Manufacturer::new(0x7C01, Msp430Variant::F5438, cfg.clone());
+    let mut chip = fab.produce(0x1234, TestStatus::Accept).unwrap();
+    let verifier = Verifier::new(cfg, 0x7C01);
+    let seg = chip.flash.watermark_segment();
+    let report = verifier.verify(&mut chip.flash, seg).unwrap();
+    assert_eq!(report.verdict, Verdict::Genuine);
+    let record = report.record.unwrap();
+    assert_eq!(record.manufacturer_id, 0x7C01);
+    assert_eq!(record.status, TestStatus::Accept);
+}
+
+#[test]
+fn watermark_survives_decade_of_storage() {
+    // Retention drains stored charge but not wear; extraction reprograms
+    // the segment anyway, so a 10-year shelf (or 1000 h at 85 °C) changes
+    // nothing.
+    let mut chip = Msp430Flash::f5438(0xBA3E);
+    let seg = chip.watermark_segment();
+    let cfg = config();
+    let wm = Watermark::from_ascii("SHELF").unwrap();
+    Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
+
+    chip.main_mut().array_mut().bake(10.0 * 8760.0, 25.0);
+    chip.main_mut().array_mut().bake(1000.0, 85.0);
+
+    let e = Extractor::new(&cfg).extract(&mut chip, seg, wm.len()).unwrap();
+    assert_eq!(e.bits(), wm.bits());
+}
+
+#[test]
+fn extraction_does_not_need_the_content() {
+    // The verifier knows only lengths and the window — never the payload.
+    // (A raw single-shot extraction may carry a stray bit error; the
+    // verifier's window-retry + CRC repair is the production path.)
+    let cfg = config();
+    let mut fab = Manufacturer::new(0x7C01, Msp430Variant::F5438, cfg.clone());
+    let mut chip = fab.produce(0x777, TestStatus::Accept).unwrap();
+    let seg = chip.flash.watermark_segment();
+
+    let e = Extractor::new(&cfg)
+        .extract(&mut chip.flash, seg, flashmark::core::watermark::RECORD_BITS)
+        .unwrap();
+    let blind = WatermarkRecord::from_watermark(&e.to_watermark().unwrap());
+    let expected = WatermarkRecord {
+        manufacturer_id: 0x7C01,
+        die_id: 1,
+        speed_grade: 3,
+        status: TestStatus::Accept,
+        year_week: 2004,
+    };
+    if let Ok(r) = blind {
+        assert_eq!(r, expected, "blind extraction decoded a different record");
+    }
+
+    let report = Verifier::new(cfg, 0x7C01).verify(&mut chip.flash, seg).unwrap();
+    assert_eq!(report.record, Some(expected));
+}
+
+#[test]
+fn integrator_accepts_genuine_across_seeds() {
+    let cfg = config();
+    let mut fab = Manufacturer::new(0x7C01, Msp430Variant::F5438, cfg.clone());
+    let integrator = SystemIntegrator::new(cfg, 0x7C01).unwrap();
+    for seed in 0..8u64 {
+        let mut chip = fab.produce(0xA000 + seed, TestStatus::Accept).unwrap();
+        let a = integrator.inspect(&mut chip).unwrap();
+        assert!(a.accepted, "genuine chip {seed} was flagged: {a:?}");
+    }
+}
+
+#[test]
+fn scenario_outcomes_are_stable_across_seeds() {
+    for seed in [0x11u64, 0x22, 0x33, 0x44] {
+        let stats = SupplyChainScenario::new(ScenarioConfig::small(seed)).run().unwrap();
+        assert_eq!(stats.false_negatives(), 0, "seed {seed:#x}: {stats}");
+        assert_eq!(stats.false_positives(), 0, "seed {seed:#x}: {stats}");
+    }
+}
+
+#[test]
+fn watermark_segment_is_out_of_code_range() {
+    let chip = Msp430Flash::f5438(1);
+    let seg = chip.watermark_segment();
+    assert_eq!(seg, SegmentAddr::new(chip.geometry().total_segments() - 1));
+}
