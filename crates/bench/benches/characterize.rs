@@ -1,47 +1,37 @@
-//! Criterion benchmarks for the characterization sweep (Fig. 3 algorithm).
+//! Micro-benchmarks for the characterization sweep (Fig. 3 algorithm).
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flashmark_bench::harness::test_chip;
+use flashmark_bench::microbench::Bench;
 use flashmark_core::{analyze_segment, characterize_segment, StressDetector, SweepSpec};
 use flashmark_nor::SegmentAddr;
 use flashmark_physics::Micros;
 
-fn bench_characterize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("characterize");
-    group.sample_size(10);
+fn main() {
+    let group = Bench::new("characterize").samples(10);
 
-    group.bench_function("sweep_16_points", |b| {
-        let sweep = SweepSpec::new(Micros::new(0.0), Micros::new(60.0), Micros::new(4.0)).unwrap();
-        b.iter_batched(
-            || test_chip(11),
-            |mut flash| {
-                characterize_segment(&mut flash, black_box(SegmentAddr::new(0)), &sweep, 3).unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    let sweep = SweepSpec::new(Micros::new(0.0), Micros::new(60.0), Micros::new(4.0)).unwrap();
+    group.bench_with_setup(
+        "sweep_16_points",
+        || test_chip(11),
+        |mut flash| {
+            characterize_segment(&mut flash, black_box(SegmentAddr::new(0)), &sweep, 3).unwrap()
+        },
+    );
+
+    let mut flash = test_chip(12);
+    group.bench("analyze_segment_3_reads", || {
+        analyze_segment(&mut flash, black_box(SegmentAddr::new(0)), 3).unwrap()
     });
 
-    group.bench_function("analyze_segment_3_reads", |b| {
-        let mut flash = test_chip(12);
-        b.iter(|| analyze_segment(&mut flash, black_box(SegmentAddr::new(0)), 3).unwrap());
-    });
-
-    group.bench_function("stress_detector_round", |b| {
-        b.iter_batched(
-            || test_chip(13),
-            |mut flash| {
-                StressDetector::fig5()
-                    .classify(&mut flash, black_box(SegmentAddr::new(0)))
-                    .unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-
-    group.finish();
+    group.bench_with_setup(
+        "stress_detector_round",
+        || test_chip(13),
+        |mut flash| {
+            StressDetector::fig5()
+                .classify(&mut flash, black_box(SegmentAddr::new(0)))
+                .unwrap()
+        },
+    );
 }
-
-criterion_group!(benches, bench_characterize);
-criterion_main!(benches);

@@ -1,51 +1,40 @@
-//! Criterion benchmarks for the coding layer (replication, Hamming, CRC).
+//! Micro-benchmarks for the coding layer (replication, Hamming, CRC).
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flashmark_bench::microbench::Bench;
 use flashmark_ecc::crc::{crc16, crc32};
 use flashmark_ecc::{Code, Hamming, Interleaver, Repetition};
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codec");
+fn main() {
+    let group = Bench::new("codec");
 
     let data: Vec<bool> = (0..4096).map(|i| i % 3 == 0).collect();
     let small: Vec<bool> = data[..512].to_vec();
 
-    group.bench_function("repetition7_encode_512", |b| {
-        let code = Repetition::new(7).unwrap();
-        b.iter(|| code.encode(black_box(&small)));
+    let code = Repetition::new(7).unwrap();
+    group.bench("repetition7_encode_512", || code.encode(black_box(&small)));
+
+    let tx = code.encode(&small);
+    group.bench("repetition7_decode_512", || {
+        code.decode(black_box(&tx)).unwrap()
     });
 
-    group.bench_function("repetition7_decode_512", |b| {
-        let code = Repetition::new(7).unwrap();
-        let tx = code.encode(&small);
-        b.iter(|| code.decode(black_box(&tx)).unwrap());
+    let code = Hamming::new();
+    group.bench("hamming_encode_4096", || code.encode(black_box(&data)));
+
+    let tx = code.encode(&data);
+    group.bench("hamming_decode_4096", || {
+        code.decode(black_box(&tx)).unwrap()
     });
 
-    group.bench_function("hamming_encode_4096", |b| {
-        let code = Hamming::new();
-        b.iter(|| code.encode(black_box(&data)));
-    });
-
-    group.bench_function("hamming_decode_4096", |b| {
-        let code = Hamming::new();
-        let tx = code.encode(&data);
-        b.iter(|| code.decode(black_box(&tx)).unwrap());
-    });
-
-    group.bench_function("interleave_4096_depth7", |b| {
-        let il = Interleaver::new(7).unwrap();
-        let bits: Vec<bool> = (0..4096 - 4096 % 7).map(|i| i % 5 == 0).collect();
-        b.iter(|| il.interleave(black_box(&bits)).unwrap());
+    let il = Interleaver::new(7).unwrap();
+    let bits: Vec<bool> = (0..4096 - 4096 % 7).map(|i| i % 5 == 0).collect();
+    group.bench("interleave_4096_depth7", || {
+        il.interleave(black_box(&bits)).unwrap()
     });
 
     let payload = vec![0xA5u8; 1024];
-    group.bench_function("crc16_1k", |b| b.iter(|| crc16(black_box(&payload))));
-    group.bench_function("crc32_1k", |b| b.iter(|| crc32(black_box(&payload))));
-
-    group.finish();
+    group.bench("crc16_1k", || crc16(black_box(&payload)));
+    group.bench("crc32_1k", || crc32(black_box(&payload)));
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

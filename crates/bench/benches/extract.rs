@@ -1,28 +1,33 @@
-//! Criterion benchmarks for watermark extraction (Fig. 8 path) and full
+//! Micro-benchmarks for watermark extraction (Fig. 8 path) and full
 //! verification.
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flashmark_bench::harness::{test_chip, uppercase_ascii_watermark};
-use flashmark_core::{Extractor, FlashmarkConfig, Imprinter, TestStatus, Verifier, WatermarkRecord};
+use flashmark_bench::microbench::Bench;
+use flashmark_core::{
+    Extractor, FlashmarkConfig, Imprinter, TestStatus, Verifier, WatermarkRecord,
+};
 use flashmark_nor::SegmentAddr;
 
-fn bench_extract(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extract");
-    group.sample_size(20);
+fn main() {
+    let group = Bench::new("extract").samples(20);
 
-    let cfg = FlashmarkConfig::builder().n_pe(70_000).replicas(7).build().unwrap();
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(70_000)
+        .replicas(7)
+        .build()
+        .unwrap();
     let wm = uppercase_ascii_watermark(16, 2);
     let mut flash = test_chip(9);
-    Imprinter::new(&cfg).imprint(&mut flash, SegmentAddr::new(0), &wm).unwrap();
+    Imprinter::new(&cfg)
+        .imprint(&mut flash, SegmentAddr::new(0), &wm)
+        .unwrap();
 
-    group.bench_function("record_7_replicas", |b| {
-        b.iter(|| {
-            Extractor::new(&cfg)
-                .extract(&mut flash, SegmentAddr::new(0), black_box(wm.len()))
-                .unwrap()
-        });
+    group.bench("record_7_replicas", || {
+        Extractor::new(&cfg)
+            .extract(&mut flash, SegmentAddr::new(0), black_box(wm.len()))
+            .unwrap()
     });
 
     let record = WatermarkRecord {
@@ -38,12 +43,9 @@ fn bench_extract(c: &mut Criterion) {
         .unwrap();
     let verifier = Verifier::new(cfg.clone(), 0x7C01);
 
-    group.bench_function("full_verify", |b| {
-        b.iter(|| verifier.verify(&mut flash2, black_box(SegmentAddr::new(0))).unwrap());
+    group.bench("full_verify", || {
+        verifier
+            .verify(&mut flash2, black_box(SegmentAddr::new(0)))
+            .unwrap()
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_extract);
-criterion_main!(benches);

@@ -1,47 +1,44 @@
-//! Criterion benchmarks for the imprint path (simulator cost, §V timing
+//! Micro-benchmarks for the imprint path (simulator cost; §V timing
 //! arithmetic is exercised by `table1_timing`).
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flashmark_bench::harness::{test_chip, uppercase_ascii_watermark};
+use flashmark_bench::microbench::Bench;
 use flashmark_core::{FlashmarkConfig, Imprinter};
 use flashmark_nor::SegmentAddr;
 
-fn bench_imprint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("imprint");
-    group.sample_size(20);
-
+fn main() {
+    let group = Bench::new("imprint").samples(20);
     let wm = uppercase_ascii_watermark(64, 1);
 
-    group.bench_function("bulk_40k_cycles", |b| {
-        let cfg = FlashmarkConfig::builder().n_pe(40_000).replicas(7).build().unwrap();
-        b.iter_batched(
-            || test_chip(7),
-            |mut flash| {
-                Imprinter::new(&cfg)
-                    .imprint(&mut flash, SegmentAddr::new(0), black_box(&wm))
-                    .unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(40_000)
+        .replicas(7)
+        .build()
+        .unwrap();
+    group.bench_with_setup(
+        "bulk_40k_cycles",
+        || test_chip(7),
+        |mut flash| {
+            Imprinter::new(&cfg)
+                .imprint(&mut flash, SegmentAddr::new(0), black_box(&wm))
+                .unwrap()
+        },
+    );
 
-    group.bench_function("faithful_loop_25_cycles", |b| {
-        let cfg = FlashmarkConfig::builder().n_pe(25).replicas(7).build().unwrap();
-        b.iter_batched(
-            || test_chip(8),
-            |mut flash| {
-                Imprinter::new(&cfg)
-                    .imprint_via_cycles(&mut flash, SegmentAddr::new(0), black_box(&wm))
-                    .unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-
-    group.finish();
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(25)
+        .replicas(7)
+        .build()
+        .unwrap();
+    group.bench_with_setup(
+        "faithful_loop_25_cycles",
+        || test_chip(8),
+        |mut flash| {
+            Imprinter::new(&cfg)
+                .imprint_via_cycles(&mut flash, SegmentAddr::new(0), black_box(&wm))
+                .unwrap()
+        },
+    );
 }
-
-criterion_group!(benches, bench_imprint);
-criterion_main!(benches);

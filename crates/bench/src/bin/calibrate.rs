@@ -27,7 +27,9 @@ fn min_ber(params: &PhysicsParams, seed: u64, kcycles: f64, sweep: &SweepSpec) -
         .reads(1)
         .build()
         .expect("valid");
-    Imprinter::new(&cfg).imprint(&mut flash, seg, &wm).expect("imprint");
+    Imprinter::new(&cfg)
+        .imprint(&mut flash, seg, &wm)
+        .expect("imprint");
     let mut best = (0.0, f64::INFINITY);
     for t in sweep.times() {
         if t.get() <= 0.0 {
@@ -40,7 +42,9 @@ fn min_ber(params: &PhysicsParams, seed: u64, kcycles: f64, sweep: &SweepSpec) -
             .t_pew(t)
             .build()
             .expect("valid");
-        let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len()).expect("extract");
+        let e = Extractor::new(&cfg_t)
+            .extract(&mut flash, seg, wm.len())
+            .expect("extract");
         let ber = e.ber_against(&wm);
         if ber < best.1 {
             best = (t.get(), ber);
@@ -60,7 +64,10 @@ fn evaluate(label: &str, params: &PhysicsParams) {
     print!("{label:<28}");
     for (k, target) in paper {
         let (t, ber) = min_ber(params, 0xCA11B, k, &sweep);
-        print!("  {k:>3.0}K: {:>5.1}%/{target:<4.1} @{t:>2.0}us", ber * 100.0);
+        print!(
+            "  {k:>3.0}K: {:>5.1}%/{target:<4.1} @{t:>2.0}us",
+            ber * 100.0
+        );
     }
     println!();
 }
@@ -112,7 +119,13 @@ fn main() {
     evaluate("shifted cluster, eo 0.02", &with_table(&shifted, 0.02));
     let lighter: Vec<(f64, f64)> = shifted
         .iter()
-        .map(|&(u, s)| if s < 0.5 && u > 0.0 { (u * 0.8, s) } else { (u, s) })
+        .map(|&(u, s)| {
+            if s < 0.5 && u > 0.0 {
+                (u * 0.8, s)
+            } else {
+                (u, s)
+            }
+        })
         .collect();
     evaluate("shifted x0.8, eo 0.02", &with_table(&lighter, 0.02));
 
@@ -185,7 +198,13 @@ fn main() {
         ];
         let scaled: Vec<(f64, f64)> = base
             .iter()
-            .map(|&(u, s)| if s < 0.5 { ((u * scale).min(0.52), s) } else { (u, s) })
+            .map(|&(u, s)| {
+                if s < 0.5 {
+                    ((u * scale).min(0.52), s)
+                } else {
+                    (u, s)
+                }
+            })
             .collect();
         // Re-monotonize the probability column after scaling.
         let mut fixed = scaled;

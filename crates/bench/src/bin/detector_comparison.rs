@@ -4,20 +4,24 @@
 //! wear levels.
 
 use flashmark_bench::harness::{precondition_segment, test_chip};
+use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::{ProgramTimeDetector, SegmentCondition, StressDetector};
 use flashmark_nor::SegmentAddr;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct DetectorComparison {
     /// `(prior_kcycles, erase_frac, erase_verdict, prog_frac, prog_verdict)`
     rows: Vec<(f64, f64, bool, f64, bool)>,
 }
+impl_to_json!(DetectorComparison { rows });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let levels = [0.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
-    eprintln!("detector_comparison: sweeping {} prior-wear levels ...", levels.len());
+    eprintln!(
+        "detector_comparison: sweeping {} prior-wear levels ...",
+        levels.len()
+    );
     let mut flash = test_chip(0xDE7E);
     let erase_det = StressDetector::fig5();
     let prog_det = ProgramTimeDetector::default_for_msp430();

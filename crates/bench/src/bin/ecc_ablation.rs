@@ -12,7 +12,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = ecc_ablation(0xECC, 50.0, Micros::new(30.0))?;
     let mut table = Table::new(["scheme", "channel bits", "post-decode BER %", "clean?"]);
     for (name, bits, ber, ok) in &data.rows {
-        table.row([name.clone(), bits.to_string(), format!("{:.2}", ber * 100.0), ok.to_string()]);
+        table.row([
+            name.clone(),
+            bits.to_string(),
+            format!("{:.2}", ber * 100.0),
+            ok.to_string(),
+        ]);
     }
     println!("{}", table.render());
     println!();

@@ -3,19 +3,25 @@
 //! show consistent behavior". We characterize several simulated chips of
 //! the family and derive the publishable extraction recipe.
 
+use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::{derive_recipe, SweepSpec};
 use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
 use flashmark_physics::{Micros, PhysicsParams};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct FamilyReport {
     per_chip: Vec<(u64, f64, f64, f64, f64)>, // (seed, t_pew, separation, lo, hi)
     recipe_t_pew_us: f64,
     recipe_window: (f64, f64),
     optimum_spread_us: f64,
 }
+impl_to_json!(FamilyReport {
+    per_chip,
+    recipe_t_pew_us,
+    recipe_window,
+    optimum_spread_us
+});
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const CHIPS: u64 = 6;
@@ -45,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
     )?;
 
-    let mut table = Table::new(["chip seed", "optimal tPEW (us)", "separation %", "window (us)"]);
+    let mut table = Table::new([
+        "chip seed",
+        "optimal tPEW (us)",
+        "separation %",
+        "window (us)",
+    ]);
     let mut per_chip = Vec::new();
     for (seed, w) in seeds.iter().zip(&fam.per_chip) {
         table.row([
@@ -54,14 +65,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.1}", w.separation() * 100.0),
             format!("{:.0}..{:.0}", w.window_lo.get(), w.window_hi.get()),
         ]);
-        per_chip.push((*seed, w.t_pew.get(), w.separation(), w.window_lo.get(), w.window_hi.get()));
+        per_chip.push((
+            *seed,
+            w.t_pew.get(),
+            w.separation(),
+            w.window_lo.get(),
+            w.window_hi.get(),
+        ));
     }
     println!("{}", table.render());
     println!(
         "\npublished recipe: tPEW = {} within window {} .. {} (optimum spread {} across chips)",
-        fam.recipe.t_pew, fam.recipe.window_lo, fam.recipe.window_hi, fam.optimum_spread()
+        fam.recipe.t_pew,
+        fam.recipe.window_lo,
+        fam.recipe.window_hi,
+        fam.optimum_spread()
     );
-    println!("worst per-chip separation: {:.1} %", fam.worst_separation() * 100.0);
+    println!(
+        "worst per-chip separation: {:.1} %",
+        fam.worst_separation() * 100.0
+    );
 
     let json = write_json(
         "family_consistency",

@@ -9,12 +9,19 @@ use flashmark_core::SweepSpec;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let levels: Vec<f64> = paper::FIG4_ALL_ERASED_US.iter().map(|&(k, _)| k).collect();
     let sweep = SweepSpec::fig4();
-    eprintln!("fig04: characterizing {} stress levels (0-120 us sweep) ...", levels.len());
+    eprintln!(
+        "fig04: characterizing {} stress levels (0-120 us sweep) ...",
+        levels.len()
+    );
     let data = fig04(0xF1604, &levels, &sweep, 3)?;
 
-    let mut table = Table::new(["tPE (us)"].into_iter().map(String::from).chain(
-        data.curves.iter().map(|c| format!("cells_0 @{}K", c.kcycles)),
-    ));
+    let mut table = Table::new(
+        ["tPE (us)"].into_iter().map(String::from).chain(
+            data.curves
+                .iter()
+                .map(|c| format!("cells_0 @{}K", c.kcycles)),
+        ),
+    );
     for (i, &(t, _, _)) in data.curves[0].points.iter().enumerate() {
         let mut row = vec![format!("{t:.0}")];
         for c in &data.curves {
@@ -31,12 +38,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .find(|&&(k, _)| k == c.kcycles)
             .map_or(f64::NAN, |&(_, t)| t);
-        println!("{}", compare_line(&format!("  all erased @{:>3}K", c.kcycles), paper_t, c.all_erased_us, "us"));
+        println!(
+            "{}",
+            compare_line(
+                &format!("  all erased @{:>3}K", c.kcycles),
+                paper_t,
+                c.all_erased_us,
+                "us"
+            )
+        );
     }
     if let Some(onset) = data.curves[0].onset_us {
         println!(
             "{}",
-            compare_line("  fresh erase onset", paper::FIG4_FRESH_ONSET_US, onset, "us")
+            compare_line(
+                "  fresh erase onset",
+                paper::FIG4_FRESH_ONSET_US,
+                onset,
+                "us"
+            )
         );
     }
 

@@ -14,11 +14,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("fig09: BER sweep over {} stress levels ...", levels.len());
     let data = fig09(0xF1609, &levels, &sweep)?;
 
-    println!("watermark 1-bit fraction: {:.3} (small-tPE plateau)", data.ones_fraction);
+    println!(
+        "watermark 1-bit fraction: {:.3} (small-tPE plateau)",
+        data.ones_fraction
+    );
     let mut table = Table::new(
-        ["tPE (us)"].into_iter().map(String::from).chain(
-            data.series.iter().map(|s| format!("BER% @{}K", s.kcycles)),
-        ),
+        ["tPE (us)"]
+            .into_iter()
+            .map(String::from)
+            .chain(data.series.iter().map(|s| format!("BER% @{}K", s.kcycles))),
     );
     for (i, &(t, _)) in data.series[0].points.iter().enumerate() {
         let mut row = vec![format!("{t:.0}")];

@@ -24,9 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bit index:   123456789012345678901234567890  (# = logic 1, . = logic 0)");
     println!("reference:   {}", bit_row(&data.reference));
     for (i, replica) in data.replicas.iter().enumerate() {
-        println!("replica {}:   {}   ({} errors)", i + 1, bit_row(replica), data.replica_errors[i]);
+        println!(
+            "replica {}:   {}   ({} errors)",
+            i + 1,
+            bit_row(replica),
+            data.replica_errors[i]
+        );
     }
-    println!("recovered:   {}   ({} errors)", bit_row(&data.recovered), data.recovered_errors);
+    println!(
+        "recovered:   {}   ({} errors)",
+        bit_row(&data.recovered),
+        data.recovered_errors
+    );
     println!();
     println!(
         "error asymmetry across replicas: bad→good {} vs good→bad {} (paper: bad→good dominates)",

@@ -24,9 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for &k in &levels {
         let mut table = Table::new(
-            ["tPE (us)"].into_iter().map(String::from).chain(
-                reps.iter().map(|r| format!("BER% {r} replicas")),
-            ),
+            ["tPE (us)"]
+                .into_iter()
+                .map(String::from)
+                .chain(reps.iter().map(|r| format!("BER% {r} replicas"))),
         );
         let series: Vec<_> = data.series.iter().filter(|s| s.kcycles == k).collect();
         for (i, &(t, _)) in series[0].points.iter().enumerate() {
@@ -50,7 +51,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|s| s.kcycles == 40.0 && s.replicas == r)
             .and_then(|s| s.minimum())
             .map_or(f64::NAN, |(_, b)| b * 100.0);
-        println!("{}", compare_line(&format!("  min BER @40K, {r} replicas"), paper_ber, measured, "%"));
+        println!(
+            "{}",
+            compare_line(
+                &format!("  min BER @40K, {r} replicas"),
+                paper_ber,
+                measured,
+                "%"
+            )
+        );
     }
     let recovered_70k = data
         .series

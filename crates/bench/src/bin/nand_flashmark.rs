@@ -2,18 +2,19 @@
 //! runs the full imprint/extract pipeline on a simulated SLC NAND part and
 //! compares imprint times against the MSP430 embedded NOR.
 
+use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::{Extractor, FlashmarkConfig, Imprinter, Watermark};
 use flashmark_msp430::Msp430Flash;
 use flashmark_nand::{NandChip, NandGeometry, NandWordAdapter};
 use flashmark_nor::SegmentAddr;
 use flashmark_physics::Micros;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct NandDemo {
     rows: Vec<(String, u64, f64, f64)>, // (device, n_pe, imprint_s, ber)
 }
+impl_to_json!(NandDemo { rows });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wm = Watermark::from_ascii("NAND-TOO")?;
@@ -31,19 +32,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let seg = nor.watermark_segment();
         let report = Imprinter::new(&cfg).imprint(&mut nor, seg, &wm)?;
         let e = Extractor::new(&cfg).extract(&mut nor, seg, wm.len())?;
-        rows.push(("MSP430 NOR".to_string(), n_pe, report.elapsed.get(), e.ber_against(&wm)));
+        rows.push((
+            "MSP430 NOR".to_string(),
+            n_pe,
+            report.elapsed.get(),
+            e.ber_against(&wm),
+        ));
 
         // SLC NAND through the adapter — identical code path.
         let mut nand = NandWordAdapter::new(NandChip::new(NandGeometry::tiny(), 0x0A1));
         let seg = SegmentAddr::new(0);
         let report = Imprinter::new(&cfg).imprint(&mut nand, seg, &wm)?;
         let e = Extractor::new(&cfg).extract(&mut nand, seg, wm.len())?;
-        rows.push(("SLC NAND".to_string(), n_pe, report.elapsed.get(), e.ber_against(&wm)));
+        rows.push((
+            "SLC NAND".to_string(),
+            n_pe,
+            report.elapsed.get(),
+            e.ber_against(&wm),
+        ));
     }
 
     let mut table = Table::new(["device", "NPE", "imprint (s)", "post-vote BER %"]);
     for (dev, n, t, ber) in &rows {
-        table.row([dev.clone(), n.to_string(), format!("{t:.0}"), format!("{:.2}", ber * 100.0)]);
+        table.row([
+            dev.clone(),
+            n.to_string(),
+            format!("{t:.0}"),
+            format!("{:.2}", ber * 100.0),
+        ]);
     }
     println!("{}", table.render());
     println!("\nsame Imprinter/Extractor code drove both devices (FlashInterface trait)");

@@ -7,25 +7,29 @@
 //! at each `NPE`, several chips are manufactured and verified; we report
 //! the verification pass rate and the (accelerated) imprint time.
 
+use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::{FlashmarkConfig, TestStatus, Verdict, Verifier};
 use flashmark_msp430::Msp430Variant;
 use flashmark_nor::interface::FlashInterface;
 use flashmark_physics::Micros;
 use flashmark_supply::Manufacturer;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct NpeSweep {
     /// `(n_pe, chips, passed, imprint_s)` rows.
     rows: Vec<(u64, usize, usize, f64)>,
 }
+impl_to_json!(NpeSweep { rows });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const MFG: u16 = 0x7C01;
     const CHIPS: usize = 6;
     let levels = [20_000u64, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000];
-    eprintln!("npe_sweep: {CHIPS} chips per level, {} levels ...", levels.len());
+    eprintln!(
+        "npe_sweep: {CHIPS} chips per level, {} levels ...",
+        levels.len()
+    );
 
     let mut rows = Vec::new();
     for &n_pe in &levels {
@@ -51,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(["NPE", "chips", "verified genuine", "imprint (s, accel)"]);
     for &(n, c, p, t) in &rows {
-        table.row([n.to_string(), c.to_string(), p.to_string(), format!("{t:.0}")]);
+        table.row([
+            n.to_string(),
+            c.to_string(),
+            p.to_string(),
+            format!("{t:.0}"),
+        ]);
     }
     println!("{}", table.render());
     println!("\nthe conflict the paper describes: below ~40-50K cycles the record does not");

@@ -23,17 +23,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let rows = [
-        ("baseline imprint @40K", paper::IMPRINT_BASELINE_40K_S, data.imprint[0].1),
-        ("accelerated imprint @40K", paper::IMPRINT_ACCEL_40K_S, data.imprint[0].2),
-        ("baseline imprint @70K", paper::IMPRINT_BASELINE_70K_S, data.imprint[1].1),
-        ("accelerated imprint @70K", paper::IMPRINT_ACCEL_70K_S, data.imprint[1].2),
+        (
+            "baseline imprint @40K",
+            paper::IMPRINT_BASELINE_40K_S,
+            data.imprint[0].1,
+        ),
+        (
+            "accelerated imprint @40K",
+            paper::IMPRINT_ACCEL_40K_S,
+            data.imprint[0].2,
+        ),
+        (
+            "baseline imprint @70K",
+            paper::IMPRINT_BASELINE_70K_S,
+            data.imprint[1].1,
+        ),
+        (
+            "accelerated imprint @70K",
+            paper::IMPRINT_ACCEL_70K_S,
+            data.imprint[1].2,
+        ),
     ];
     for (name, p, m) in rows {
         println!("{}", compare_line(name, p, m, "s"));
     }
     println!(
         "{}",
-        compare_line("extract (7 replicas)", paper::EXTRACT_MS, data.extract_s * 1000.0, "ms")
+        compare_line(
+            "extract (7 replicas)",
+            paper::EXTRACT_MS,
+            data.extract_s * 1000.0,
+            "ms"
+        )
     );
     println!("(the paper's 170 ms includes host-side I/O; ours is on-chip time only)");
 

@@ -6,19 +6,23 @@
 //! window-retry ladder absorbs realistic temperature excursions.
 
 use flashmark_bench::harness::uppercase_ascii_watermark;
+use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::{Extractor, FlashmarkConfig, Imprinter, SweepSpec};
 use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
 use flashmark_physics::{Micros, PhysicsParams};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct TempSweep {
     /// `(temp_c, best_t_pe_us, min_ber)` rows.
     rows: Vec<(f64, f64, f64)>,
     /// BER at the 25 °C-calibrated `tPEW` when extracted at each temp.
     fixed_t_pew_rows: Vec<(f64, f64)>,
 }
+impl_to_json!(TempSweep {
+    rows,
+    fixed_t_pew_rows
+});
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wm = uppercase_ascii_watermark(512, 0x7E);
@@ -32,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0x7E3,
     );
     let seg = SegmentAddr::new(0);
-    let cfg = FlashmarkConfig::builder().n_pe(60_000).replicas(1).reads(1).build()?;
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(60_000)
+        .replicas(1)
+        .reads(1)
+        .build()?;
     Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
 
     let mut rows = Vec::new();
@@ -43,8 +51,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut best = (0.0f64, f64::INFINITY);
         let mut at_ref = f64::NAN;
         for t in sweep.times() {
-            let c = FlashmarkConfig::builder().n_pe(1).replicas(1).reads(1).t_pew(t).build()?;
-            let ber = Extractor::new(&c).extract(&mut flash, seg, wm.len())?.ber_against(&wm);
+            let c = FlashmarkConfig::builder()
+                .n_pe(1)
+                .replicas(1)
+                .reads(1)
+                .t_pew(t)
+                .build()?;
+            let ber = Extractor::new(&c)
+                .extract(&mut flash, seg, wm.len())?
+                .ber_against(&wm);
             if ber < best.1 {
                 best = (t.get(), ber);
             }
@@ -72,9 +87,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", table.render());
     println!("\n25C-calibrated optimum: {t_ref:.0} us; the window drifts with temperature,");
     println!("matching the Arrhenius acceleration of Fowler-Nordheim erase.");
-    println!("verifiers should extract near the calibration temperature or rely on the retry ladder.");
+    println!(
+        "verifiers should extract near the calibration temperature or rely on the retry ladder."
+    );
 
-    let json = write_json("temperature_sweep", &TempSweep { rows, fixed_t_pew_rows: fixed })?;
+    let json = write_json(
+        "temperature_sweep",
+        &TempSweep {
+            rows,
+            fixed_t_pew_rows: fixed,
+        },
+    )?;
     eprintln!("wrote {}", json.display());
     Ok(())
 }

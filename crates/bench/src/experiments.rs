@@ -1,9 +1,7 @@
 //! The experiments themselves — one function per paper figure/table.
 //!
 //! Every function is deterministic given its seed and returns a
-//! `serde`-serializable result; the binaries print tables and dump JSON/CSV.
-
-use serde::Serialize;
+//! JSON-serializable result; the binaries print tables and dump JSON/CSV.
 
 use flashmark_core::{
     analyze_segment, characterize_segment, select_t_pew, CoreError, Extractor, FlashmarkConfig,
@@ -19,7 +17,7 @@ use crate::harness::{precondition_segment, test_chip, uppercase_ascii_watermark}
 // ---------------------------------------------------------------- Fig. 4 --
 
 /// One stress level's characterization curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig04Curve {
     /// Pre-conditioning stress (kcycles).
     pub kcycles: f64,
@@ -33,7 +31,7 @@ pub struct Fig04Curve {
 }
 
 /// Fig. 4 data: cells_0/cells_1 vs `tPE` per stress level.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig04Data {
     /// One curve per stress level.
     pub curves: Vec<Fig04Curve>,
@@ -62,7 +60,11 @@ pub fn fig04(
         };
         curves.push(Fig04Curve {
             kcycles: k,
-            points: curve.points.iter().map(|p| (p.t_pe.get(), p.cells_0, p.cells_1)).collect(),
+            points: curve
+                .points
+                .iter()
+                .map(|p| (p.t_pe.get(), p.cells_0, p.cells_1))
+                .collect(),
             all_erased_us,
             onset_us: curve.onset_time().map(Micros::get),
         });
@@ -97,7 +99,7 @@ fn all_erased_search(
 // ---------------------------------------------------------------- Fig. 5 --
 
 /// Fig. 5 data: one-round fresh-vs-stressed discrimination.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig05Data {
     /// Partial-erase time used.
     pub t_pew_us: f64,
@@ -148,7 +150,7 @@ pub fn fig05(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<Fig05Data,
 // ---------------------------------------------------------------- Fig. 9 --
 
 /// One BER-vs-`tPE` series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BerSeries {
     /// Imprint stress (kcycles).
     pub kcycles: f64,
@@ -170,7 +172,7 @@ impl BerSeries {
 }
 
 /// Fig. 9 data: single-copy, single-read BER vs `tPE` per stress level.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig09Data {
     /// Fraction of 1-bits in the watermark (the small-`tPE` plateau).
     pub ones_fraction: f64,
@@ -203,9 +205,16 @@ pub fn fig09(seed: u64, stress_kcycles: &[f64], sweep: &SweepSpec) -> Result<Fig
             Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
             ber_sweep(&mut flash, seg, &wm, 1, sweep)?
         };
-        series.push(BerSeries { kcycles: k, replicas: 1, points });
+        series.push(BerSeries {
+            kcycles: k,
+            replicas: 1,
+            points,
+        });
     }
-    Ok(Fig09Data { ones_fraction: wm.ones_fraction(), series })
+    Ok(Fig09Data {
+        ones_fraction: wm.ones_fraction(),
+        series,
+    })
 }
 
 fn ber_sweep(
@@ -236,7 +245,7 @@ fn ber_sweep(
 
 /// Fig. 10 data: per-replica extraction of a 30-bit slice plus the
 /// majority-voted recovery.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Data {
     /// The imprinted reference bits.
     pub reference: Vec<bool>,
@@ -315,7 +324,7 @@ pub fn fig10(
 
 /// Fig. 11 data: majority-voted BER vs `tPE` for several replica counts and
 /// stress levels.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Data {
     /// One series per `(stress level, replica count)` pair.
     pub series: Vec<BerSeries>,
@@ -371,7 +380,11 @@ pub fn fig11(
                 let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len())?;
                 points.push((t.get(), e.ber_against(&wm)));
             }
-            series.push(BerSeries { kcycles: k, replicas: reps, points });
+            series.push(BerSeries {
+                kcycles: k,
+                replicas: reps,
+                points,
+            });
         }
     }
     Ok(Fig11Data { series })
@@ -380,7 +393,7 @@ pub fn fig11(
 // ------------------------------------------------------------ §V timing --
 
 /// §V timing results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Data {
     /// `(n_pe, baseline_s, accelerated_s, speedup)` rows.
     pub imprint: Vec<(u64, f64, f64, f64)>,
@@ -415,18 +428,24 @@ pub fn table1(seed: u64, cycle_counts: &[u64]) -> Result<Table1Data, CoreError> 
     }
 
     // Extraction time of a 128-bit record with 7 replicas, 3 reads.
-    let cfg = FlashmarkConfig::builder().n_pe(70_000).replicas(7).build()?;
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(70_000)
+        .replicas(7)
+        .build()?;
     let seg = SegmentAddr::new(seg_index);
     let record_wm = uppercase_ascii_watermark(16, seed ^ 0x72);
     Imprinter::new(&cfg).imprint(&mut flash, seg, &record_wm)?;
     let e = Extractor::new(&cfg).extract(&mut flash, seg, record_wm.len())?;
-    Ok(Table1Data { imprint, extract_s: e.elapsed().get() })
+    Ok(Table1Data {
+        imprint,
+        extract_s: e.elapsed().get(),
+    })
 }
 
 // ------------------------------------------------------- ECC ablation ----
 
 /// ECC-vs-replication ablation result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EccAblationData {
     /// `(scheme, channel_bits, ber_after_decode, record_recovered)` rows.
     pub rows: Vec<(String, usize, f64, bool)>,
@@ -438,7 +457,11 @@ pub struct EccAblationData {
 /// # Errors
 ///
 /// Flash/configuration errors.
-pub fn ecc_ablation(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<EccAblationData, CoreError> {
+pub fn ecc_ablation(
+    seed: u64,
+    stress_kcycles: f64,
+    t_pew: Micros,
+) -> Result<EccAblationData, CoreError> {
     let mut flash = test_chip(seed);
     let record = uppercase_ascii_watermark(16, seed ^ 0x3C);
     let n_pe = (stress_kcycles * 1000.0) as u64;
@@ -456,12 +479,20 @@ pub fn ecc_ablation(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<Ecc
         Imprinter::new(&cfg).imprint(&mut flash, seg, &record)?;
         let e = Extractor::new(&cfg).extract(&mut flash, seg, record.len())?;
         let ber = e.ber_against(&record);
-        rows.push(("replication x3".to_string(), record.len() * 3, ber, ber == 0.0));
+        rows.push((
+            "replication x3".to_string(),
+            record.len() * 3,
+            ber,
+            ber == 0.0,
+        ));
     }
 
     // Hamming codes: encode the record bits, imprint the codeword with no
     // replication, decode after extraction.
-    for (name, code) in [("hamming(15,11)", Hamming::new()), ("hamming(16,11) ext", Hamming::extended())] {
+    for (name, code) in [
+        ("hamming(15,11)", Hamming::new()),
+        ("hamming(16,11) ext", Hamming::extended()),
+    ] {
         let codeword = Watermark::from_bits(code.encode(record.bits()))?;
         let cfg = FlashmarkConfig::builder()
             .n_pe(n_pe)
@@ -483,7 +514,7 @@ pub fn ecc_ablation(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<Ecc
 
 /// Ablation: effect of the N-read majority (`AnalyzeSegment`) on single-copy
 /// BER near the extraction window.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReadMajorityData {
     /// `(reads, min_ber)` rows at the fixed stress level.
     pub rows: Vec<(usize, f64)>,
@@ -534,7 +565,7 @@ pub fn read_majority_ablation(
 // ------------------------------------------------------- stress probe ----
 
 /// Recycled-chip detection sweep: stress-detector separation vs prior use.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RecycledProbeData {
     /// `(prior_kcycles, programmed_fraction)` rows at the detector's tPEW.
     pub rows: Vec<(f64, f64)>,
@@ -558,6 +589,48 @@ pub fn recycled_probe(seed: u64, prior_kcycles: &[f64]) -> Result<RecycledProbeD
     Ok(RecycledProbeData { rows })
 }
 
+// JSON serialization of the result structs (the offline replacement for
+// the former `#[derive(Serialize)]`).
+use crate::impl_to_json;
+impl_to_json!(Fig04Curve {
+    kcycles,
+    points,
+    all_erased_us,
+    onset_us
+});
+impl_to_json!(Fig04Data { curves });
+impl_to_json!(Fig05Data {
+    t_pew_us,
+    distinguishable,
+    total,
+    best_t_pew_us,
+    best_distinguishable,
+    programmed_at_t_pew,
+});
+impl_to_json!(BerSeries {
+    kcycles,
+    replicas,
+    points
+});
+impl_to_json!(Fig09Data {
+    ones_fraction,
+    series
+});
+impl_to_json!(Fig10Data {
+    reference,
+    replicas,
+    recovered,
+    replica_errors,
+    recovered_errors,
+    good_to_bad,
+    bad_to_good,
+});
+impl_to_json!(Fig11Data { series });
+impl_to_json!(Table1Data { imprint, extract_s });
+impl_to_json!(EccAblationData { rows });
+impl_to_json!(ReadMajorityData { rows });
+impl_to_json!(RecycledProbeData { rows });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,7 +651,10 @@ mod tests {
         let d = fig09(2, &[0.0, 40.0], &sweep).unwrap();
         let m0 = d.series[0].minimum().unwrap().1;
         let m40 = d.series[1].minimum().unwrap().1;
-        assert!(m40 < m0, "imprinted segment must beat unimprinted ({m40} vs {m0})");
+        assert!(
+            m40 < m0,
+            "imprinted segment must beat unimprinted ({m40} vs {m0})"
+        );
     }
 
     #[test]
@@ -586,7 +662,10 @@ mod tests {
         let d = fig10(3, 30, 7, 50.0, Micros::new(30.0)).unwrap();
         assert_eq!(d.replicas.len(), 7);
         assert_eq!(d.recovered.len(), 30);
-        assert!(d.recovered_errors <= 1, "majority recovery should be near-perfect");
+        assert!(
+            d.recovered_errors <= 1,
+            "majority recovery should be near-perfect"
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn precondition_segment(
 #[must_use]
 pub fn uppercase_ascii_watermark(bytes: usize, seed: u64) -> Watermark {
     let mut rng = SplitMix64::new(seed);
-    let payload: Vec<u8> = (0..bytes).map(|_| b'A' + rng.range_usize(26) as u8).collect();
+    let payload: Vec<u8> = (0..bytes)
+        .map(|_| b'A' + rng.range_usize(26) as u8)
+        .collect();
     Watermark::from_bytes(&payload).expect("non-empty payload")
 }
 

@@ -25,5 +25,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
+pub mod microbench;
 pub mod output;
 pub mod paper;

@@ -1,0 +1,141 @@
+//! A self-contained micro-benchmark runner replacing `criterion` (offline
+//! builds cannot fetch it).
+//!
+//! Bench targets keep `harness = false` and drive [`Bench`] from `main`.
+//! The runner warms up, then takes per-iteration wall-clock samples and
+//! reports min/median/mean. Wall-clock use is confined to this module and
+//! the bench targets — `cargo xtask lint` bans `std::time` from the
+//! simulation crates, where nondeterminism would corrupt experiments, not
+//! from benchmark infrastructure whose entire job is timing.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group: a named collection of timed closures.
+#[derive(Debug)]
+pub struct Bench {
+    group: String,
+    samples: usize,
+    min_iters: u64,
+}
+
+/// Statistics of one benchmark function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Median sample, seconds per iteration.
+    pub median_s: f64,
+    /// Mean over all samples, seconds per iteration.
+    pub mean_s: f64,
+}
+
+impl Bench {
+    /// Creates a benchmark group.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            samples: 20,
+            min_iters: 1,
+        }
+    }
+
+    /// Sets the number of timed samples (default 20).
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Times `f`, with `setup` run outside the timed region before every
+    /// iteration (the `iter_batched` pattern).
+    pub fn bench_with_setup<S, R>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) -> BenchStats
+    where
+        S: Sized,
+    {
+        // Warm-up: one untimed run.
+        let input = setup();
+        let _ = f(input);
+
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut elapsed = Duration::ZERO;
+            let mut iters = 0u64;
+            // Accumulate until the sample is long enough to time reliably.
+            while iters < self.min_iters || elapsed < Duration::from_micros(200) {
+                let input = setup();
+                let t0 = Instant::now();
+                let out = f(input);
+                elapsed += t0.elapsed();
+                std::hint::black_box(out);
+                iters += 1;
+            }
+            per_iter.push(elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let stats = BenchStats {
+            min_s: per_iter[0],
+            median_s: per_iter[per_iter.len() / 2],
+            mean_s: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        };
+        println!(
+            "{}/{:<32} min {:>12}  median {:>12}  mean {:>12}",
+            self.group,
+            name,
+            fmt_time(stats.min_s),
+            fmt_time(stats.median_s),
+            fmt_time(stats.mean_s)
+        );
+        stats
+    }
+
+    /// Times `f` with no per-iteration setup.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> BenchStats {
+        self.bench_with_setup(name, || (), |()| f())
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_positive() {
+        let b = Bench::new("test").samples(5);
+        let s = b.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        });
+        assert!(s.min_s > 0.0);
+        assert!(s.min_s <= s.median_s);
+        assert!(s.median_s <= s.mean_s * 3.0);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

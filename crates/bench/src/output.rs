@@ -4,7 +4,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
+use crate::json::ToJson;
 
 /// Directory experiment artifacts are written into.
 #[must_use]
@@ -26,7 +26,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row (stringified cells).
@@ -82,18 +85,20 @@ impl Table {
 /// # Errors
 ///
 /// I/O or serialization errors.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+pub fn write_json<T: ToJson>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    fs::write(&path, json)?;
+    fs::write(&path, value.to_json().pretty())?;
     Ok(path)
 }
 
 /// Formats a paper-vs-measured comparison line.
 #[must_use]
 pub fn compare_line(metric: &str, paper: f64, measured: f64, unit: &str) -> String {
-    let ratio = if paper.abs() > 1e-12 { measured / paper } else { f64::NAN };
+    let ratio = if paper.abs() > 1e-12 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{metric:<42} paper {paper:>9.2} {unit:<4} measured {measured:>9.2} {unit:<4} (x{ratio:.2})")
 }
 

@@ -25,12 +25,7 @@ pub const FIG5_DISTINGUISHABLE: usize = 3833;
 
 /// Fig. 9: minimum single-copy, single-read BER (%) per imprint stress level
 /// (kcycles).
-pub const FIG9_MIN_BER_PCT: &[(f64, f64)] = &[
-    (20.0, 19.9),
-    (40.0, 11.8),
-    (60.0, 7.6),
-    (80.0, 2.3),
-];
+pub const FIG9_MIN_BER_PCT: &[(f64, f64)] = &[(20.0, 19.9), (40.0, 11.8), (60.0, 7.6), (80.0, 2.3)];
 
 /// Fig. 10: replication demo operating point.
 pub const FIG10_STRESS_KCYCLES: f64 = 50.0;

@@ -45,7 +45,11 @@ impl SweepSpec {
     /// The sweep the paper's Fig. 4 plots: 0–120 µs in 3 µs steps.
     #[must_use]
     pub fn fig4() -> Self {
-        Self::new(Micros::new(0.0), Micros::new(120.0), Micros::new(3.0)).expect("valid")
+        Self {
+            start: Micros::new(0.0),
+            end: Micros::new(120.0),
+            step: Micros::new(3.0),
+        }
     }
 
     /// The partial-erase times of this sweep.
@@ -207,7 +211,11 @@ pub fn characterize_segment<F: FlashInterface>(
         }
         let bits = analyze_segment(flash, seg, reads)?;
         let cells_1 = bits.iter().filter(|&&b| b).count();
-        points.push(CharacterizationPoint { t_pe, cells_0: bits.len() - cells_1, cells_1 });
+        points.push(CharacterizationPoint {
+            t_pe,
+            cells_0: bits.len() - cells_1,
+            cells_1,
+        });
     }
     // Leave the segment erased, not mid-transition.
     flash.erase_segment(seg)?;
@@ -218,8 +226,8 @@ pub fn characterize_segment<F: FlashInterface>(
 mod tests {
     use super::*;
     use flashmark_nor::interface::BulkStress;
-    use flashmark_nor::{FlashController, FlashGeometry, FlashTimings};
     use flashmark_nor::interface::ImprintTiming;
+    use flashmark_nor::{FlashController, FlashGeometry, FlashTimings};
     use flashmark_physics::PhysicsParams;
 
     fn flash() -> FlashController {
@@ -234,7 +242,10 @@ mod tests {
     #[test]
     fn sweep_times_inclusive() {
         let s = SweepSpec::new(Micros::new(0.0), Micros::new(10.0), Micros::new(5.0)).unwrap();
-        assert_eq!(s.times(), vec![Micros::new(0.0), Micros::new(5.0), Micros::new(10.0)]);
+        assert_eq!(
+            s.times(),
+            vec![Micros::new(0.0), Micros::new(5.0), Micros::new(10.0)]
+        );
     }
 
     #[test]
@@ -267,7 +278,9 @@ mod tests {
         // At t=0 everything reads programmed.
         assert_eq!(curve.points[0].cells_0, 4096);
         // Fresh segments finish erasing by ~35-45 µs.
-        let done = curve.all_erased_time().expect("sweep must reach completion");
+        let done = curve
+            .all_erased_time()
+            .expect("sweep must reach completion");
         assert!((20.0..=48.0).contains(&done.get()), "all-erased at {done}");
         // Onset: nothing flips below ~12 µs.
         let onset = curve.onset_time().expect("onset visible");
@@ -296,9 +309,21 @@ mod tests {
     fn cells_0_interpolation() {
         let curve = CharacterizationCurve {
             points: vec![
-                CharacterizationPoint { t_pe: Micros::new(0.0), cells_0: 100, cells_1: 0 },
-                CharacterizationPoint { t_pe: Micros::new(5.0), cells_0: 50, cells_1: 50 },
-                CharacterizationPoint { t_pe: Micros::new(10.0), cells_0: 0, cells_1: 100 },
+                CharacterizationPoint {
+                    t_pe: Micros::new(0.0),
+                    cells_0: 100,
+                    cells_1: 0,
+                },
+                CharacterizationPoint {
+                    t_pe: Micros::new(5.0),
+                    cells_0: 50,
+                    cells_1: 50,
+                },
+                CharacterizationPoint {
+                    t_pe: Micros::new(10.0),
+                    cells_0: 0,
+                    cells_1: 100,
+                },
             ],
             reads: 1,
         };

@@ -75,7 +75,10 @@ impl FlashmarkConfig {
 
 impl Default for FlashmarkConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        // The builder's seed config *is* the recommended operating point and
+        // passes validation by construction; take it directly so Default
+        // stays infallible without a panic path.
+        Self::builder().config
     }
 }
 
@@ -203,7 +206,10 @@ mod tests {
     #[test]
     fn rejects_bad_knobs() {
         assert!(FlashmarkConfig::builder().n_pe(0).build().is_err());
-        assert!(FlashmarkConfig::builder().t_pew(Micros::new(0.0)).build().is_err());
+        assert!(FlashmarkConfig::builder()
+            .t_pew(Micros::new(0.0))
+            .build()
+            .is_err());
         assert!(FlashmarkConfig::builder().replicas(4).build().is_err());
         assert!(FlashmarkConfig::builder().reads(2).build().is_err());
     }

@@ -73,14 +73,22 @@ impl StressDetector {
         if !(0.0 < threshold && threshold < 1.0) {
             return Err(CoreError::Config("threshold must be in (0, 1)"));
         }
-        Ok(Self { t_pew, reads, threshold })
+        Ok(Self {
+            t_pew,
+            reads,
+            threshold,
+        })
     }
 
     /// A detector at the paper's Fig. 5 operating point (23 µs, majority of
     /// 3 reads, 50 % threshold).
     #[must_use]
     pub fn fig5() -> Self {
-        Self::new(Micros::new(23.0), 3, 0.5).expect("valid")
+        Self {
+            t_pew: Micros::new(23.0),
+            reads: 3,
+            threshold: 0.5,
+        }
     }
 
     /// The partial-erase time used.
@@ -114,7 +122,12 @@ impl StressDetector {
         };
         // Restore a defined state.
         flash.erase_segment(seg)?;
-        Ok(StressReport { programmed, total, verdict, t_pew: self.t_pew })
+        Ok(StressReport {
+            programmed,
+            total,
+            verdict,
+            t_pew: self.t_pew,
+        })
     }
 }
 
@@ -149,13 +162,21 @@ impl ProgramTimeDetector {
         if !(0.0 < threshold && threshold < 1.0) {
             return Err(CoreError::Config("threshold must be in (0, 1)"));
         }
-        Ok(Self { t_pp, reads, threshold })
+        Ok(Self {
+            t_pp,
+            reads,
+            threshold,
+        })
     }
 
     /// A reasonable default: a pulse of half the nominal program time.
     #[must_use]
     pub fn default_for_msp430() -> Self {
-        Self::new(Micros::new(13.0), 3, 0.3).expect("valid")
+        Self {
+            t_pp: Micros::new(13.0),
+            reads: 3,
+            threshold: 0.3,
+        }
     }
 
     /// Runs one detection round (erase → partial program → analyze →
@@ -180,7 +201,12 @@ impl ProgramTimeDetector {
             SegmentCondition::Fresh
         };
         flash.erase_segment(seg)?;
-        Ok(StressReport { programmed, total, verdict, t_pew: self.t_pp })
+        Ok(StressReport {
+            programmed,
+            total,
+            verdict,
+            t_pew: self.t_pp,
+        })
     }
 }
 
@@ -210,19 +236,30 @@ mod tests {
     #[test]
     fn fresh_segment_classified_fresh() {
         let mut f = flash(70);
-        let r = StressDetector::fig5().classify(&mut f, SegmentAddr::new(0)).unwrap();
+        let r = StressDetector::fig5()
+            .classify(&mut f, SegmentAddr::new(0))
+            .unwrap();
         assert_eq!(r.verdict, SegmentCondition::Fresh);
-        assert!(r.programmed_fraction() < 0.35, "fraction {}", r.programmed_fraction());
+        assert!(
+            r.programmed_fraction() < 0.35,
+            "fraction {}",
+            r.programmed_fraction()
+        );
     }
 
     #[test]
     fn worn_segment_classified_stressed() {
         let mut f = flash(71);
         let seg = SegmentAddr::new(1);
-        f.bulk_imprint(seg, &vec![0u16; 256], 50_000, ImprintTiming::Baseline).unwrap();
+        f.bulk_imprint(seg, &vec![0u16; 256], 50_000, ImprintTiming::Baseline)
+            .unwrap();
         let r = StressDetector::fig5().classify(&mut f, seg).unwrap();
         assert_eq!(r.verdict, SegmentCondition::Stressed);
-        assert!(r.programmed_fraction() > 0.8, "fraction {}", r.programmed_fraction());
+        assert!(
+            r.programmed_fraction() > 0.8,
+            "fraction {}",
+            r.programmed_fraction()
+        );
     }
 
     #[test]
@@ -231,12 +268,14 @@ mod tests {
         // We require >85 % separation with the same setup.
         let mut f = flash(72);
         let worn = SegmentAddr::new(1);
-        f.bulk_imprint(worn, &vec![0u16; 256], 50_000, ImprintTiming::Baseline).unwrap();
+        f.bulk_imprint(worn, &vec![0u16; 256], 50_000, ImprintTiming::Baseline)
+            .unwrap();
         let det = StressDetector::fig5();
         let fresh = det.classify(&mut f, SegmentAddr::new(0)).unwrap();
         let stressed = det.classify(&mut f, worn).unwrap();
-        let distinguishable =
-            (stressed.programmed as i64 + (fresh.total - fresh.programmed) as i64) - fresh.total as i64;
+        let distinguishable = (stressed.programmed as i64
+            + (fresh.total - fresh.programmed) as i64)
+            - fresh.total as i64;
         assert!(
             distinguishable > (0.85 * fresh.total as f64) as i64,
             "only {distinguishable} of {} distinguishable",
@@ -248,7 +287,8 @@ mod tests {
     fn program_time_detector_separates_fresh_from_worn() {
         let mut f = flash(74);
         let worn = SegmentAddr::new(1);
-        f.bulk_imprint(worn, &vec![0u16; 256], 50_000, ImprintTiming::Baseline).unwrap();
+        f.bulk_imprint(worn, &vec![0u16; 256], 50_000, ImprintTiming::Baseline)
+            .unwrap();
         let det = ProgramTimeDetector::default_for_msp430();
         let fresh_report = det.classify(&mut f, SegmentAddr::new(0)).unwrap();
         let worn_report = det.classify(&mut f, worn).unwrap();

@@ -34,7 +34,10 @@ impl fmt::Display for CoreError {
             Self::Config(why) => write!(f, "invalid configuration: {why}"),
             Self::Watermark(why) => write!(f, "invalid watermark: {why}"),
             Self::TooLarge { needed, available } => {
-                write!(f, "watermark needs {needed} cells but the segment has {available}")
+                write!(
+                    f,
+                    "watermark needs {needed} cells but the segment has {available}"
+                )
             }
         }
     }
@@ -79,8 +82,14 @@ mod tests {
 
     #[test]
     fn too_large_message() {
-        let e = CoreError::TooLarge { needed: 8192, available: 4096 };
-        assert_eq!(e.to_string(), "watermark needs 8192 cells but the segment has 4096");
+        let e = CoreError::TooLarge {
+            needed: 8192,
+            available: 4096,
+        };
+        assert_eq!(
+            e.to_string(),
+            "watermark needs 8192 cells but the segment has 4096"
+        );
     }
 
     #[test]

@@ -248,8 +248,14 @@ mod tests {
         let wm = Watermark::from_ascii("TC:OK").unwrap();
         let seg = SegmentAddr::new(0);
         Imprinter::new(&config).imprint(&mut f, seg, &wm).unwrap();
-        let e = Extractor::new(&config).extract(&mut f, seg, wm.len()).unwrap();
-        assert_eq!(e.bits(), wm.bits(), "80K/7-replica extraction must be clean");
+        let e = Extractor::new(&config)
+            .extract(&mut f, seg, wm.len())
+            .unwrap();
+        assert_eq!(
+            e.bits(),
+            wm.bits(),
+            "80K/7-replica extraction must be clean"
+        );
         assert!(e.unanimous_fraction() > 0.7);
     }
 
@@ -257,9 +263,14 @@ mod tests {
     fn no_imprint_reads_mostly_ones() {
         let mut f = flash(43);
         let config = cfg(60_000, 3);
-        let e = Extractor::new(&config).extract(&mut f, SegmentAddr::new(1), 32).unwrap();
+        let e = Extractor::new(&config)
+            .extract(&mut f, SegmentAddr::new(1), 32)
+            .unwrap();
         let ones = e.bits().iter().filter(|&&b| b).count();
-        assert!(ones >= 28, "fresh segment must extract as (almost) all 1s, got {ones}/32");
+        assert!(
+            ones >= 28,
+            "fresh segment must extract as (almost) all 1s, got {ones}/32"
+        );
     }
 
     #[test]
@@ -270,8 +281,12 @@ mod tests {
         let wm = Watermark::from_ascii("AGAIN").unwrap();
         let seg = SegmentAddr::new(2);
         Imprinter::new(&config).imprint(&mut f, seg, &wm).unwrap();
-        let e1 = Extractor::new(&config).extract(&mut f, seg, wm.len()).unwrap();
-        let e2 = Extractor::new(&config).extract(&mut f, seg, wm.len()).unwrap();
+        let e1 = Extractor::new(&config)
+            .extract(&mut f, seg, wm.len())
+            .unwrap();
+        let e2 = Extractor::new(&config)
+            .extract(&mut f, seg, wm.len())
+            .unwrap();
         assert_eq!(e1.bits(), e2.bits());
     }
 
@@ -282,7 +297,9 @@ mod tests {
         let wm = Watermark::from_ascii("R").unwrap();
         let seg = SegmentAddr::new(3);
         Imprinter::new(&config).imprint(&mut f, seg, &wm).unwrap();
-        let e = Extractor::new(&config).extract(&mut f, seg, wm.len()).unwrap();
+        let e = Extractor::new(&config)
+            .extract(&mut f, seg, wm.len())
+            .unwrap();
         assert_eq!(e.replicas(), 3);
         assert_eq!(e.replica(0).len(), 8);
         assert_eq!(e.votes().len(), 8);
@@ -296,10 +313,16 @@ mod tests {
         let wm = Watermark::from_ascii("TIME").unwrap();
         let seg = SegmentAddr::new(4);
         Imprinter::new(&config).imprint(&mut f, seg, &wm).unwrap();
-        let e = Extractor::new(&config).extract(&mut f, seg, wm.len()).unwrap();
+        let e = Extractor::new(&config)
+            .extract(&mut f, seg, wm.len())
+            .unwrap();
         // Paper: ~170 ms including host overhead; ours is the on-chip time.
         assert!(e.elapsed().get() < 0.5, "extract took {}", e.elapsed());
-        assert!(e.elapsed().get() > 0.02, "extract too fast: {}", e.elapsed());
+        assert!(
+            e.elapsed().get() > 0.02,
+            "extract too fast: {}",
+            e.elapsed()
+        );
     }
 
     #[test]
@@ -309,9 +332,14 @@ mod tests {
         let wm = Watermark::from_ascii("Z").unwrap();
         let seg = SegmentAddr::new(5);
         Imprinter::new(&config).imprint(&mut f, seg, &wm).unwrap();
-        Extractor::new(&config).extract_and_restore(&mut f, seg, wm.len()).unwrap();
+        Extractor::new(&config)
+            .extract_and_restore(&mut f, seg, wm.len())
+            .unwrap();
         let bits = f.array_mut().ideal_bits(seg);
-        assert!(bits.iter().all(|&b| b), "segment must be erased after restore");
+        assert!(
+            bits.iter().all(|&b| b),
+            "segment must be erased after restore"
+        );
     }
 
     #[test]
@@ -328,7 +356,9 @@ mod tests {
         let wm = Watermark::from_ascii("WEAVE").unwrap();
         let seg = SegmentAddr::new(6);
         Imprinter::new(&config).imprint(&mut f, seg, &wm).unwrap();
-        let e = Extractor::new(&config).extract(&mut f, seg, wm.len()).unwrap();
+        let e = Extractor::new(&config)
+            .extract(&mut f, seg, wm.len())
+            .unwrap();
         assert_eq!(e.bits(), wm.bits());
         // Replica views are de-interleaved back to logical order.
         assert_eq!(e.replica(0).len(), wm.len());

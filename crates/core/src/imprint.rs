@@ -56,7 +56,7 @@ impl<'a> Imprinter<'a> {
         Self { config }
     }
 
-    fn layout_for(&self, wm: &Watermark) -> Result<SegmentLayout, CoreError> {
+    fn layout_for(self, wm: &Watermark) -> Result<SegmentLayout, CoreError> {
         SegmentLayout::new(wm.len(), self.config.replicas(), self.config.layout())
     }
 
@@ -73,7 +73,7 @@ impl<'a> Imprinter<'a> {
     ) -> Result<Vec<u16>, CoreError> {
         let layout = self.layout_for(wm)?;
         layout.check_fits(flash.geometry())?;
-        Ok(layout.pattern_words(wm.bits(), flash.geometry()))
+        layout.pattern_words(wm.bits(), flash.geometry())
     }
 
     /// Imprints using the simulator's closed-form fast path. End state and
@@ -141,8 +141,8 @@ impl<'a> Imprinter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, WordAddr};
     use flashmark_nor::interface::FlashInterface;
+    use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, WordAddr};
     use flashmark_physics::PhysicsParams;
 
     fn flash(seed: u64) -> FlashController {
@@ -186,7 +186,9 @@ mod tests {
         let bulk = a.wear_stats(seg);
 
         let mut b = flash(9);
-        Imprinter::new(&cfg).imprint_via_cycles(&mut b, seg, &wm).unwrap();
+        Imprinter::new(&cfg)
+            .imprint_via_cycles(&mut b, seg, &wm)
+            .unwrap();
         let looped = b.wear_stats(seg);
 
         // First loop cycle erases an already-erased segment, so the loop can
@@ -216,9 +218,13 @@ mod tests {
         let wm = Watermark::from_ascii("SPEED").unwrap();
         let seg = SegmentAddr::new(2);
         let mut slow = flash(3);
-        let r_slow = Imprinter::new(&config(5_000, false)).imprint(&mut slow, seg, &wm).unwrap();
+        let r_slow = Imprinter::new(&config(5_000, false))
+            .imprint(&mut slow, seg, &wm)
+            .unwrap();
         let mut fast = flash(3);
-        let r_fast = Imprinter::new(&config(5_000, true)).imprint(&mut fast, seg, &wm).unwrap();
+        let r_fast = Imprinter::new(&config(5_000, true))
+            .imprint(&mut fast, seg, &wm)
+            .unwrap();
         assert!(r_fast.elapsed.get() < r_slow.elapsed.get() / 2.5);
         assert!(r_fast.accelerated && !r_slow.accelerated);
     }
@@ -229,7 +235,9 @@ mod tests {
         let seg = SegmentAddr::new(3);
         let mut f = flash(4);
         let cfg = config(5, true);
-        Imprinter::new(&cfg).imprint_via_cycles(&mut f, seg, &wm).unwrap();
+        Imprinter::new(&cfg)
+            .imprint_via_cycles(&mut f, seg, &wm)
+            .unwrap();
         assert_eq!(f.counters().early_exit_erases, 5);
         assert_eq!(f.counters().segment_erases, 0);
     }

@@ -46,7 +46,11 @@ impl SegmentLayout {
         if replicas == 0 || replicas.is_multiple_of(2) {
             return Err(CoreError::Config("replica count must be odd"));
         }
-        Ok(Self { data_len, replicas, layout })
+        Ok(Self {
+            data_len,
+            replicas,
+            layout,
+        })
     }
 
     /// Watermark data bits.
@@ -75,32 +79,34 @@ impl SegmentLayout {
     pub fn check_fits(&self, geometry: FlashGeometry) -> Result<(), CoreError> {
         let available = geometry.cells_per_segment();
         if self.channel_len() > available {
-            return Err(CoreError::TooLarge { needed: self.channel_len(), available });
+            return Err(CoreError::TooLarge {
+                needed: self.channel_len(),
+                available,
+            });
         }
         Ok(())
     }
 
-    fn repetition(&self) -> Repetition {
-        Repetition::new(self.replicas).expect("validated odd in the constructor")
+    fn repetition(&self) -> Result<Repetition, CoreError> {
+        Ok(Repetition::new(self.replicas)?)
     }
 
     /// Encodes data bits into the channel bit string (replicated, possibly
     /// interleaved).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `data` length differs from the layout's `data_len`.
-    #[must_use]
-    pub fn encode_channel(&self, data: &[bool]) -> Vec<bool> {
-        assert_eq!(data.len(), self.data_len, "layout/data length mismatch");
-        let channel = self.repetition().encode(data);
-        match self.layout {
-            ReplicaLayout::Contiguous => channel,
-            ReplicaLayout::Interleaved => Interleaver::new(self.replicas)
-                .expect("non-zero depth")
-                .interleave(&channel)
-                .expect("replica multiple by construction"),
+    /// [`CoreError::Config`] if `data` length differs from the layout's
+    /// `data_len`; [`CoreError::Code`] on coding-layer failures.
+    pub fn encode_channel(&self, data: &[bool]) -> Result<Vec<bool>, CoreError> {
+        if data.len() != self.data_len {
+            return Err(CoreError::Config("layout/data length mismatch"));
         }
+        let channel = self.repetition()?.encode(data);
+        Ok(match self.layout {
+            ReplicaLayout::Contiguous => channel,
+            ReplicaLayout::Interleaved => Interleaver::new(self.replicas)?.interleave(&channel)?,
+        })
     }
 
     /// Recovers the (de-interleaved) channel from extracted segment bits.
@@ -112,36 +118,39 @@ impl SegmentLayout {
     pub fn slice_channel(&self, segment_bits: &[bool]) -> Result<Vec<bool>, CoreError> {
         let n = self.channel_len();
         if segment_bits.len() < n {
-            return Err(CoreError::TooLarge { needed: n, available: segment_bits.len() });
+            return Err(CoreError::TooLarge {
+                needed: n,
+                available: segment_bits.len(),
+            });
         }
         let raw = &segment_bits[..n];
         Ok(match self.layout {
             ReplicaLayout::Contiguous => raw.to_vec(),
-            ReplicaLayout::Interleaved => Interleaver::new(self.replicas)
-                .expect("non-zero depth")
-                .deinterleave(raw)
-                .expect("length is a replica multiple"),
+            ReplicaLayout::Interleaved => Interleaver::new(self.replicas)?.deinterleave(raw)?,
         })
     }
 
     /// Builds the full segment program pattern: channel bits in the leading
     /// cells (bit `b` → cell holds `b`), everything else left erased (1).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the channel does not fit the geometry (call
-    /// [`SegmentLayout::check_fits`] first).
-    #[must_use]
-    pub fn pattern_words(&self, data: &[bool], geometry: FlashGeometry) -> Vec<u16> {
-        self.check_fits(geometry).expect("pattern must fit the segment");
-        let channel = self.encode_channel(data);
+    /// [`CoreError::TooLarge`] if the channel does not fit the geometry,
+    /// plus [`encode_channel`](SegmentLayout::encode_channel) errors.
+    pub fn pattern_words(
+        &self,
+        data: &[bool],
+        geometry: FlashGeometry,
+    ) -> Result<Vec<u16>, CoreError> {
+        self.check_fits(geometry)?;
+        let channel = self.encode_channel(data)?;
         let mut words = vec![0xFFFFu16; geometry.words_per_segment()];
         for (i, &bit) in channel.iter().enumerate() {
             if !bit {
                 words[i / 16] &= !(1 << (i % 16));
             }
         }
-        words
+        Ok(words)
     }
 }
 
@@ -157,7 +166,7 @@ mod tests {
     fn channel_roundtrip_contiguous() {
         let l = SegmentLayout::new(4, 3, ReplicaLayout::Contiguous).unwrap();
         let data = bits("1011");
-        let channel = l.encode_channel(&data);
+        let channel = l.encode_channel(&data).unwrap();
         assert_eq!(channel.len(), 12);
         let mut segment = channel.clone();
         segment.extend([true; 20]); // trailing erased cells
@@ -168,10 +177,11 @@ mod tests {
     fn channel_roundtrip_interleaved() {
         let l = SegmentLayout::new(5, 3, ReplicaLayout::Interleaved).unwrap();
         let data = bits("10110");
-        let channel = l.encode_channel(&data);
+        let channel = l.encode_channel(&data).unwrap();
         let plain = SegmentLayout::new(5, 3, ReplicaLayout::Contiguous)
             .unwrap()
-            .encode_channel(&data);
+            .encode_channel(&data)
+            .unwrap();
         assert_ne!(channel, plain, "interleaving must permute");
         // slice_channel undoes the interleave: we get the contiguous form.
         assert_eq!(l.slice_channel(&channel).unwrap(), plain);
@@ -182,8 +192,11 @@ mod tests {
         let g = FlashGeometry::single_bank(1);
         let l = SegmentLayout::new(16, 1, ReplicaLayout::Contiguous).unwrap();
         // "TC" = 0x5443, LSB-first bits of bytes 0x54, 0x43.
-        let data: Vec<bool> = [0x54u8, 0x43].iter().flat_map(|&b| (0..8).map(move |i| b & (1 << i) != 0)).collect();
-        let words = l.pattern_words(&data, g);
+        let data: Vec<bool> = [0x54u8, 0x43]
+            .iter()
+            .flat_map(|&b| (0..8).map(move |i| b & (1 << i) != 0))
+            .collect();
+        let words = l.pattern_words(&data, g).unwrap();
         assert_eq!(words.len(), 256);
         assert_eq!(words[0], 0x4354); // low byte in low bits
         assert!(words[1..].iter().all(|&w| w == 0xFFFF));
@@ -197,7 +210,10 @@ mod tests {
             .check_fits(g)
             .is_ok()); // 896
         let too_big = SegmentLayout::new(1000, 5, ReplicaLayout::Contiguous).unwrap();
-        assert!(matches!(too_big.check_fits(g), Err(CoreError::TooLarge { .. })));
+        assert!(matches!(
+            too_big.check_fits(g),
+            Err(CoreError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -59,22 +59,29 @@ pub mod layout;
 pub mod metrics;
 pub mod multi;
 pub mod recipe;
+pub mod sanitized;
 pub mod tamper;
 pub mod verify;
 pub mod watermark;
 pub mod window;
 
-pub use characterize::{analyze_segment, characterize_segment, CharacterizationCurve, CharacterizationPoint, SweepSpec};
+pub use characterize::{
+    analyze_segment, characterize_segment, CharacterizationCurve, CharacterizationPoint, SweepSpec,
+};
 pub use config::{FlashmarkConfig, FlashmarkConfigBuilder};
 pub use detect::{ProgramTimeDetector, SegmentCondition, StressDetector, StressReport};
 pub use error::CoreError;
 pub use extract::{Extraction, Extractor};
-pub use imprint::{Imprinter, ImprintReport};
+pub use imprint::{ImprintReport, Imprinter};
 pub use layout::{ReplicaLayout, SegmentLayout};
 pub use metrics::ExtractionErrors;
 pub use multi::{MultiExtraction, MultiSegment};
 pub use recipe::{derive_recipe, ExtractionRecipe, FamilyCharacterization};
+pub use sanitized::{
+    characterize_sanitized, extract_sanitized, imprint_sanitized, imprint_via_cycles_sanitized,
+    run_sanitized, SanitizedOutcome,
+};
 pub use tamper::{BalancePolicy, FlipAsymmetry};
-pub use verify::{CounterfeitReason, VerificationReport, Verdict, Verifier};
+pub use verify::{CounterfeitReason, Verdict, VerificationReport, Verifier};
 pub use watermark::{TestStatus, Watermark, WatermarkRecord};
 pub use window::{select_t_pew, WindowChoice};

@@ -126,8 +126,18 @@ mod tests {
 
     #[test]
     fn merged_adds_counts() {
-        let a = ExtractionErrors { good_to_bad: 1, bad_to_good: 2, good_total: 10, bad_total: 10 };
-        let b = ExtractionErrors { good_to_bad: 3, bad_to_good: 0, good_total: 5, bad_total: 15 };
+        let a = ExtractionErrors {
+            good_to_bad: 1,
+            bad_to_good: 2,
+            good_total: 10,
+            bad_total: 10,
+        };
+        let b = ExtractionErrors {
+            good_to_bad: 3,
+            bad_to_good: 0,
+            good_total: 5,
+            bad_total: 15,
+        };
         let m = a.merged(b);
         assert_eq!(m.good_to_bad, 4);
         assert_eq!(m.bad_to_good, 2);

@@ -14,7 +14,7 @@ use flashmark_nor::SegmentAddr;
 use crate::config::FlashmarkConfig;
 use crate::error::CoreError;
 use crate::extract::{Extraction, Extractor};
-use crate::imprint::{Imprinter, ImprintReport};
+use crate::imprint::{ImprintReport, Imprinter};
 use crate::watermark::Watermark;
 
 /// Result of a multi-segment extraction.
@@ -79,13 +79,17 @@ impl<'a> MultiSegment<'a> {
     /// [`CoreError::Config`] if `segments` is empty or has duplicates.
     pub fn new(config: &'a FlashmarkConfig, segments: Vec<SegmentAddr>) -> Result<Self, CoreError> {
         if segments.is_empty() {
-            return Err(CoreError::Config("multi-segment scheme needs at least one segment"));
+            return Err(CoreError::Config(
+                "multi-segment scheme needs at least one segment",
+            ));
         }
         let mut sorted = segments.clone();
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != segments.len() {
-            return Err(CoreError::Config("multi-segment scheme has duplicate segments"));
+            return Err(CoreError::Config(
+                "multi-segment scheme has duplicate segments",
+            ));
         }
         Ok(Self { config, segments })
     }
@@ -107,7 +111,10 @@ impl<'a> MultiSegment<'a> {
         wm: &Watermark,
     ) -> Result<Vec<ImprintReport>, CoreError> {
         let imprinter = Imprinter::new(self.config);
-        self.segments.iter().map(|&seg| imprinter.imprint(flash, seg, wm)).collect()
+        self.segments
+            .iter()
+            .map(|&seg| imprinter.imprint(flash, seg, wm))
+            .collect()
     }
 
     /// Extracts from every segment and fuses the votes.
@@ -160,7 +167,11 @@ mod tests {
     }
 
     fn segs() -> Vec<SegmentAddr> {
-        vec![SegmentAddr::new(1), SegmentAddr::new(3), SegmentAddr::new(5)]
+        vec![
+            SegmentAddr::new(1),
+            SegmentAddr::new(3),
+            SegmentAddr::new(5),
+        ]
     }
 
     #[test]
@@ -180,7 +191,10 @@ mod tests {
         assert_eq!(reports.len(), 3);
         let e = ms.extract(&mut f, wm.len()).unwrap();
         assert_eq!(e.bits(), wm.bits());
-        assert!(e.votes().iter().all(|v| v.total() == 3), "one vote per segment");
+        assert!(
+            e.votes().iter().all(|v| v.total() == 3),
+            "one vote per segment"
+        );
     }
 
     #[test]
@@ -193,8 +207,13 @@ mod tests {
 
         // Attacker obliterates one copy by stressing the whole segment.
         let words = f.geometry().words_per_segment();
-        f.bulk_imprint(SegmentAddr::new(3), &vec![0u16; words], 60_000, ImprintTiming::Accelerated)
-            .unwrap();
+        f.bulk_imprint(
+            SegmentAddr::new(3),
+            &vec![0u16; words],
+            60_000,
+            ImprintTiming::Accelerated,
+        )
+        .unwrap();
         f.erase_segment(SegmentAddr::new(3)).unwrap();
 
         let e = ms.extract(&mut f, wm.len()).unwrap();
@@ -212,7 +231,10 @@ mod tests {
         ms.imprint(&mut f, &wm).unwrap();
         for &seg in ms.segments() {
             let words = f.read_segment(seg).unwrap();
-            assert!(words.iter().any(|&w| w != 0xFFFF), "segment {seg} untouched");
+            assert!(
+                words.iter().any(|&w| w != 0xFFFF),
+                "segment {seg} untouched"
+            );
         }
     }
 }

@@ -77,7 +77,10 @@ impl FamilyCharacterization {
     /// Worst per-chip separation fraction.
     #[must_use]
     pub fn worst_separation(&self) -> f64 {
-        self.per_chip.iter().map(WindowChoice::separation).fold(1.0, f64::min)
+        self.per_chip
+            .iter()
+            .map(WindowChoice::separation)
+            .fold(1.0, f64::min)
     }
 }
 
@@ -106,7 +109,9 @@ pub fn derive_recipe<F: FlashInterface + BulkStress>(
     reads: usize,
 ) -> Result<FamilyCharacterization, CoreError> {
     if samples.is_empty() {
-        return Err(CoreError::Config("family characterization needs at least one sample chip"));
+        return Err(CoreError::Config(
+            "family characterization needs at least one sample chip",
+        ));
     }
     let mut per_chip = Vec::with_capacity(samples.len());
     for chip in samples.iter_mut() {
@@ -132,7 +137,9 @@ pub fn derive_recipe<F: FlashInterface + BulkStress>(
         sum += w.t_pew.get();
     }
     if lo > hi {
-        return Err(CoreError::Config("sample chips' extraction windows do not overlap"));
+        return Err(CoreError::Config(
+            "sample chips' extraction windows do not overlap",
+        ));
     }
     let t_pew = Micros::new((sum / per_chip.len() as f64).clamp(lo, hi));
 
@@ -188,8 +195,16 @@ mod tests {
         .unwrap();
         assert_eq!(fam.per_chip.len(), 3);
         // The paper's observed family consistency: optima within a few µs.
-        assert!(fam.optimum_spread().get() <= 8.0, "spread {}", fam.optimum_spread());
-        assert!(fam.worst_separation() > 0.8, "separation {}", fam.worst_separation());
+        assert!(
+            fam.optimum_spread().get() <= 8.0,
+            "spread {}",
+            fam.optimum_spread()
+        );
+        assert!(
+            fam.worst_separation() > 0.8,
+            "separation {}",
+            fam.worst_separation()
+        );
         let r = &fam.recipe;
         assert!(r.window_lo.get() <= r.t_pew.get() && r.t_pew.get() <= r.window_hi.get());
         // The recipe builds a usable config.
@@ -202,7 +217,16 @@ mod tests {
     fn empty_family_rejected() {
         let mut none: Vec<FlashController> = Vec::new();
         assert!(matches!(
-            derive_recipe(&mut none, SegmentAddr::new(0), SegmentAddr::new(1), 50.0, &sweep(), 100, 7, 3),
+            derive_recipe(
+                &mut none,
+                SegmentAddr::new(0),
+                SegmentAddr::new(1),
+                50.0,
+                &sweep(),
+                100,
+                7,
+                3
+            ),
             Err(CoreError::Config(_))
         ));
     }

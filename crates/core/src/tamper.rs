@@ -38,7 +38,10 @@ impl BalancePolicy {
         if !(0.0 < tolerance && tolerance < 0.5) {
             return Err(CoreError::Config("balance tolerance must be in (0, 0.5)"));
         }
-        Ok(Self { expected_ones_fraction: 0.5, tolerance })
+        Ok(Self {
+            expected_ones_fraction: 0.5,
+            tolerance,
+        })
     }
 
     /// Whether a bit string satisfies the policy.

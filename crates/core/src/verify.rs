@@ -90,7 +90,11 @@ impl Verifier {
     /// `[0.0]` disables retries).
     #[must_use]
     pub fn with_retry_offsets(mut self, offsets_us: Vec<f64>) -> Self {
-        self.retry_offsets_us = if offsets_us.is_empty() { vec![0.0] } else { offsets_us };
+        self.retry_offsets_us = if offsets_us.is_empty() {
+            vec![0.0]
+        } else {
+            offsets_us
+        };
         self
     }
 
@@ -121,14 +125,17 @@ impl Verifier {
                 _ if report.record.is_some() => return Ok(report),
                 // No wear watermark at all: retrying other times cannot
                 // conjure one up.
-                Verdict::Counterfeit(CounterfeitReason::NoWatermark) if offset == 0.0 => {
+                Verdict::Counterfeit(CounterfeitReason::NoWatermark) if offset.abs() < 1e-9 => {
                     return Ok(report)
                 }
                 // Signature mismatch: retry elsewhere in the window.
                 _ => last = Some(report),
             }
         }
-        Ok(last.expect("at least one retry offset"))
+        // `retry_offsets_us` is kept non-empty by construction, so the loop
+        // always yields a report; surface a typed error instead of panicking
+        // if that invariant is ever broken.
+        last.ok_or(CoreError::Config("verifier has no retry offsets"))
     }
 
     fn verify_at<F: FlashInterface>(
@@ -181,7 +188,11 @@ impl Verifier {
                 } else {
                     Verdict::Genuine
                 };
-                Ok(VerificationReport { verdict, record: Some(record), extraction })
+                Ok(VerificationReport {
+                    verdict,
+                    record: Some(record),
+                    extraction,
+                })
             }
         }
     }
@@ -251,7 +262,11 @@ mod tests {
     }
 
     fn config() -> FlashmarkConfig {
-        FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap()
+        FlashmarkConfig::builder()
+            .n_pe(80_000)
+            .replicas(7)
+            .build()
+            .unwrap()
     }
 
     fn record(status: TestStatus) -> WatermarkRecord {
@@ -287,8 +302,14 @@ mod tests {
         imprint(&mut f, &record(TestStatus::Reject));
         let v = Verifier::new(config(), MFG);
         let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
-        assert_eq!(report.verdict, Verdict::Counterfeit(CounterfeitReason::RejectedDie));
-        assert!(report.record.is_some(), "record still decodes; status damns it");
+        assert_eq!(
+            report.verdict,
+            Verdict::Counterfeit(CounterfeitReason::RejectedDie)
+        );
+        assert!(
+            report.record.is_some(),
+            "record still decodes; status damns it"
+        );
     }
 
     #[test]
@@ -296,7 +317,10 @@ mod tests {
         let mut f = flash(102);
         let v = Verifier::new(config(), MFG);
         let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
-        assert_eq!(report.verdict, Verdict::Counterfeit(CounterfeitReason::NoWatermark));
+        assert_eq!(
+            report.verdict,
+            Verdict::Counterfeit(CounterfeitReason::NoWatermark)
+        );
         assert!(report.record.is_none());
     }
 
@@ -322,10 +346,16 @@ mod tests {
         // Still expected to pass at the default operating point; the point
         // is the configuration surface, exercised here.
         let report = v.verify(&mut f, SegmentAddr::new(0)).unwrap();
-        assert!(matches!(report.verdict, Verdict::Genuine | Verdict::Counterfeit(_)));
+        assert!(matches!(
+            report.verdict,
+            Verdict::Genuine | Verdict::Counterfeit(_)
+        ));
         let v_empty = Verifier::new(config(), MFG).with_retry_offsets(vec![]);
         let report = v_empty.verify(&mut f, SegmentAddr::new(0)).unwrap();
-        assert!(matches!(report.verdict, Verdict::Genuine | Verdict::Counterfeit(_)));
+        assert!(matches!(
+            report.verdict,
+            Verdict::Genuine | Verdict::Counterfeit(_)
+        ));
     }
 
     #[test]

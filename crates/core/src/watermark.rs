@@ -41,7 +41,9 @@ impl Watermark {
         if bytes.is_empty() {
             return Err(CoreError::Watermark("watermark must not be empty"));
         }
-        Ok(Self { bits: bits_from_bytes(bytes) })
+        Ok(Self {
+            bits: bits_from_bytes(bytes),
+        })
     }
 
     /// Builds a watermark from an ASCII string (the paper's examples use
@@ -133,7 +135,9 @@ impl Watermark {
     /// valid `10`/`01` symbol.
     pub fn unbalanced(&self) -> Result<Watermark, CoreError> {
         if !self.bits.len().is_multiple_of(2) {
-            return Err(CoreError::Watermark("balanced watermark must have even length"));
+            return Err(CoreError::Watermark(
+                "balanced watermark must have even length",
+            ));
         }
         let mut bits = Vec::with_capacity(self.bits.len() / 2);
         for pair in self.bits.chunks_exact(2) {
@@ -225,7 +229,11 @@ impl WatermarkRecord {
         }
         Ok(Self {
             manufacturer_id: u16::from_le_bytes([bytes[0], bytes[1]]),
-            die_id: u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")),
+            die_id: {
+                let mut die = [0u8; 8];
+                die.copy_from_slice(&bytes[2..10]);
+                u64::from_le_bytes(die)
+            },
             speed_grade: bytes[10],
             status: TestStatus::from_byte(bytes[11])?,
             year_week: u16::from_le_bytes([bytes[12], bytes[13]]),
@@ -235,7 +243,10 @@ impl WatermarkRecord {
     /// The record as an imprintable watermark.
     #[must_use]
     pub fn to_watermark(&self) -> Watermark {
-        Watermark::from_bytes(&self.to_bytes()).expect("record is never empty")
+        // The wire format is a fixed 16 bytes, so this cannot be empty.
+        Watermark {
+            bits: bits_from_bytes(&self.to_bytes()),
+        }
     }
 
     /// Parses a record from extracted watermark bits.

@@ -65,7 +65,9 @@ pub fn select_t_pew(
 ) -> Result<WindowChoice, CoreError> {
     let total = fresh.total_cells();
     if total == 0 || fresh.points.is_empty() || stressed.points.is_empty() {
-        return Err(CoreError::Config("characterization curves must be non-empty"));
+        return Err(CoreError::Config(
+            "characterization curves must be non-empty",
+        ));
     }
     if stressed.total_cells() != total {
         return Err(CoreError::Config("curves cover different cell counts"));
@@ -98,7 +100,13 @@ pub fn select_t_pew(
         }
     }
 
-    Ok(WindowChoice { t_pew: best_t, distinguishable, total, window_lo: lo, window_hi: hi })
+    Ok(WindowChoice {
+        t_pew: best_t,
+        distinguishable,
+        total,
+        window_lo: lo,
+        window_hi: hi,
+    })
 }
 
 #[cfg(test)]
@@ -127,8 +135,14 @@ mod tests {
     fn picks_the_separating_time() {
         let total = 100;
         // Fresh flips around t=10; stressed around t=40.
-        let fresh = synthetic(&[(0.0, 100), (10.0, 50), (20.0, 0), (30.0, 0), (40.0, 0)], total);
-        let stressed = synthetic(&[(0.0, 100), (10.0, 100), (20.0, 95), (30.0, 60), (40.0, 10)], total);
+        let fresh = synthetic(
+            &[(0.0, 100), (10.0, 50), (20.0, 0), (30.0, 0), (40.0, 0)],
+            total,
+        );
+        let stressed = synthetic(
+            &[(0.0, 100), (10.0, 100), (20.0, 95), (30.0, 60), (40.0, 10)],
+            total,
+        );
         let w = select_t_pew(&fresh, &stressed, 5).unwrap();
         assert_eq!(w.t_pew, Micros::new(20.0));
         assert_eq!(w.distinguishable, 95);

@@ -68,7 +68,7 @@ proptest! {
         let k = 2 * k + 1;
         let layout = if interleaved { ReplicaLayout::Interleaved } else { ReplicaLayout::Contiguous };
         let l = SegmentLayout::new(data.len(), k, layout).unwrap();
-        let channel = l.encode_channel(&data);
+        let channel = l.encode_channel(&data).unwrap();
         prop_assert_eq!(channel.len(), data.len() * k);
         // slice_channel returns the de-interleaved, replica-major channel.
         let mut segment = channel.clone();
@@ -86,7 +86,7 @@ proptest! {
         let g = FlashGeometry::single_bank(1);
         let l = SegmentLayout::new(data.len(), k, ReplicaLayout::Contiguous).unwrap();
         prop_assume!(l.check_fits(g).is_ok());
-        let words = l.pattern_words(&data, g);
+        let words = l.pattern_words(&data, g).unwrap();
         let zeros_in_words: u32 = words.iter().map(|w| w.count_zeros()).sum();
         let zeros_expected = (data.iter().filter(|&&b| !b).count() * k) as u32;
         prop_assert_eq!(zeros_in_words, zeros_expected);

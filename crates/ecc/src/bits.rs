@@ -42,7 +42,10 @@ pub fn hamming_distance(a: &[bool], b: &[bool]) -> usize {
 /// Panics if the slices have different lengths or are empty.
 #[must_use]
 pub fn bit_error_rate(a: &[bool], b: &[bool]) -> f64 {
-    assert!(!a.is_empty(), "bit error rate of empty strings is undefined");
+    assert!(
+        !a.is_empty(),
+        "bit error rate of empty strings is undefined"
+    );
     hamming_distance(a, b) as f64 / a.len() as f64
 }
 

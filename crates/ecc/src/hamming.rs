@@ -38,7 +38,7 @@ impl Hamming {
         self.extended
     }
 
-    fn block_len(&self) -> usize {
+    fn block_len(self) -> usize {
         CODE_BITS + usize::from(self.extended)
     }
 
@@ -46,7 +46,7 @@ impl Hamming {
     /// Channel bit positions are 1-based Hamming positions 1..=15; powers of
     /// two are parity bits.
     #[allow(clippy::needless_range_loop)] // 1-based Hamming positions read clearest as indices
-    fn encode_block(&self, data: &[bool]) -> Vec<bool> {
+    fn encode_block(self, data: &[bool]) -> Vec<bool> {
         debug_assert_eq!(data.len(), DATA_BITS);
         let mut code = [false; CODE_BITS + 1]; // 1-based
         let mut d = data.iter();
@@ -70,7 +70,7 @@ impl Hamming {
     }
 
     /// Decodes one block; returns (data, corrected, uncorrectable).
-    fn decode_block(&self, block: &[bool]) -> (Vec<bool>, usize, bool) {
+    fn decode_block(self, block: &[bool]) -> (Vec<bool>, usize, bool) {
         debug_assert_eq!(block.len(), self.block_len());
         let mut code = [false; CODE_BITS + 1];
         code[1..].copy_from_slice(&block[..CODE_BITS]);
@@ -88,8 +88,8 @@ impl Hamming {
         if self.extended {
             let overall = block.iter().fold(false, |acc, &b| acc ^ b);
             match (syndrome, overall) {
-                (0, false) => {}                  // clean
-                (0, true) => corrected = 1,       // error in the extra parity bit itself
+                (0, false) => {}            // clean
+                (0, true) => corrected = 1, // error in the extra parity bit itself
                 (_, true) => {
                     // Single error at `syndrome`: flip it.
                     code[syndrome] = !code[syndrome];
@@ -144,7 +144,11 @@ impl Code for Hamming {
             corrected += c;
             uncorrectable |= u;
         }
-        Ok(Decoded { data, corrected, detected_uncorrectable: uncorrectable })
+        Ok(Decoded {
+            data,
+            corrected,
+            detected_uncorrectable: uncorrectable,
+        })
     }
 }
 
@@ -206,7 +210,10 @@ mod tests {
         corrupted[5] = !corrupted[5];
         let rx = code.decode(&corrupted).unwrap();
         assert!(!rx.detected_uncorrectable);
-        assert_ne!(rx.data, data, "double error slips through as a miscorrection");
+        assert_ne!(
+            rx.data, data,
+            "double error slips through as a miscorrection"
+        );
     }
 
     #[test]
@@ -217,7 +224,10 @@ mod tests {
         assert_eq!(tx.len(), 45);
         let rx = code.decode(&tx).unwrap();
         assert_eq!(&rx.data[..30], &data[..]);
-        assert!(rx.data[30..].iter().all(|&b| !b), "padding decodes as zeros");
+        assert!(
+            rx.data[30..].iter().all(|&b| !b),
+            "padding decodes as zeros"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ impl Interleaver {
     /// [`CodeError::InvalidParameter`] if `depth` is zero.
     pub fn new(depth: usize) -> Result<Self, CodeError> {
         if depth == 0 {
-            return Err(CodeError::InvalidParameter("interleave depth must be non-zero"));
+            return Err(CodeError::InvalidParameter(
+                "interleave depth must be non-zero",
+            ));
         }
         Ok(Self { depth })
     }
@@ -56,9 +58,12 @@ impl Interleaver {
         self.permute(bits, true)
     }
 
-    fn permute(&self, bits: &[bool], invert: bool) -> Result<Vec<bool>, CodeError> {
+    fn permute(self, bits: &[bool], invert: bool) -> Result<Vec<bool>, CodeError> {
         if !bits.len().is_multiple_of(self.depth) {
-            return Err(CodeError::LengthMismatch { got: bits.len(), expected: self.depth });
+            return Err(CodeError::LengthMismatch {
+                got: bits.len(),
+                expected: self.depth,
+            });
         }
         let width = bits.len() / self.depth;
         let mut out = vec![false; bits.len()];

@@ -112,9 +112,14 @@ mod tests {
 
     #[test]
     fn code_error_display() {
-        let e = CodeError::LengthMismatch { got: 3, expected: 15 };
+        let e = CodeError::LengthMismatch {
+            got: 3,
+            expected: 15,
+        };
         assert_eq!(e.to_string(), "input length 3 does not match expected 15");
-        assert!(CodeError::InvalidParameter("even k").to_string().contains("even k"));
+        assert!(CodeError::InvalidParameter("even k")
+            .to_string()
+            .contains("even k"));
     }
 
     #[test]

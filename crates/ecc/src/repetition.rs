@@ -25,7 +25,9 @@ impl Repetition {
     /// paper uses 3, 5, and 7; an even k would allow ties).
     pub fn new(k: usize) -> Result<Self, CodeError> {
         if k == 0 || k.is_multiple_of(2) {
-            return Err(CodeError::InvalidParameter("replication factor must be odd"));
+            return Err(CodeError::InvalidParameter(
+                "replication factor must be odd",
+            ));
         }
         Ok(Self { k })
     }
@@ -66,7 +68,11 @@ impl Repetition {
     #[must_use]
     pub fn replica<'a>(&self, received: &'a [bool], replica: usize) -> &'a [bool] {
         assert!(replica < self.k, "replica index out of range");
-        assert_eq!(received.len() % self.k, 0, "length must be a replica multiple");
+        assert_eq!(
+            received.len() % self.k,
+            0,
+            "length must be a replica multiple"
+        );
         let len = received.len() / self.k;
         &received[replica * len..(replica + 1) * len]
     }
@@ -94,7 +100,11 @@ impl Code for Repetition {
         let data: Vec<bool> = votes.iter().map(MajorityVote::winner).collect();
         // Replica bits that disagree with the winner: min(ones, zeros).
         let corrected: usize = votes.iter().map(|v| (v.total() - v.margin()) / 2).sum();
-        Ok(Decoded { data, corrected, detected_uncorrectable: false })
+        Ok(Decoded {
+            data,
+            corrected,
+            detected_uncorrectable: false,
+        })
     }
 }
 

@@ -18,6 +18,10 @@ pub enum Msp430Variant {
 
 impl Msp430Variant {
     /// The specification of this variant.
+    #[expect(
+        clippy::missing_panics_doc,
+        reason = "builtin geometries are statically valid"
+    )]
     #[must_use]
     pub fn spec(self) -> DeviceSpec {
         match self {
@@ -116,6 +120,9 @@ mod tests {
 
     #[test]
     fn physics_is_family_wide() {
-        assert_eq!(Msp430Variant::F5438.physics(), Msp430Variant::F5529.physics());
+        assert_eq!(
+            Msp430Variant::F5438.physics(),
+            Msp430Variant::F5529.physics()
+        );
     }
 }

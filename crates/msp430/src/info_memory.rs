@@ -214,14 +214,20 @@ impl DeviceDescriptor {
         info: &mut FlashController,
         seg: SegmentAddr,
     ) -> Result<Result<Self, DescriptorError>, NorError> {
-        let words: Result<Vec<u16>, NorError> =
-            info.geometry().segment_words(seg).map(|w| info.read_word(w)).collect();
+        let words: Result<Vec<u16>, NorError> = info
+            .geometry()
+            .segment_words(seg)
+            .map(|w| info.read_word(w))
+            .collect();
         Ok(Self::decode(&words?))
     }
 }
 
 fn tlv_checksum(words: &[u16]) -> u16 {
-    words.iter().fold(0u16, |acc, &w| acc.wrapping_add(w)).wrapping_neg()
+    words
+        .iter()
+        .fold(0u16, |acc, &w| acc.wrapping_add(w))
+        .wrapping_neg()
 }
 
 #[cfg(test)]
@@ -234,7 +240,12 @@ mod tests {
             device_id: 0x5438,
             hw_revision: 2,
             fw_revision: 7,
-            die: DieRecord { lot_id: 0xA1B2_C3D4, wafer_id: 17, die_x: 40, die_y: 12 },
+            die: DieRecord {
+                lot_id: 0xA1B2_C3D4,
+                wafer_id: 17,
+                die_x: 40,
+                die_y: 12,
+            },
             accepted: true,
         }
     }
@@ -277,7 +288,9 @@ mod tests {
         let d = descriptor();
         let seg = SegmentAddr::new(3); // info A
         d.write_to(chip.info_mut(), seg).unwrap();
-        let back = DeviceDescriptor::read_from(chip.info_mut(), seg).unwrap().unwrap();
+        let back = DeviceDescriptor::read_from(chip.info_mut(), seg)
+            .unwrap()
+            .unwrap();
         assert_eq!(back, d);
     }
 
@@ -291,11 +304,15 @@ mod tests {
         d.accepted = false;
         d.write_to(chip.info_mut(), seg).unwrap();
 
-        let mut forged = DeviceDescriptor::read_from(chip.info_mut(), seg).unwrap().unwrap();
+        let mut forged = DeviceDescriptor::read_from(chip.info_mut(), seg)
+            .unwrap()
+            .unwrap();
         forged.accepted = true;
         forged.write_to(chip.info_mut(), seg).unwrap();
 
-        let back = DeviceDescriptor::read_from(chip.info_mut(), seg).unwrap().unwrap();
+        let back = DeviceDescriptor::read_from(chip.info_mut(), seg)
+            .unwrap()
+            .unwrap();
         assert!(back.accepted, "plain metadata offers no protection");
     }
 

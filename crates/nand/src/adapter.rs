@@ -28,16 +28,15 @@ pub struct NandWordAdapter {
 
 fn convert(err: NandError) -> NorError {
     match err {
-        NandError::BlockOutOfRange { block, total } => {
-            NorError::SegmentOutOfRange { segment: block, total }
-        }
+        NandError::BlockOutOfRange { block, total } => NorError::SegmentOutOfRange {
+            segment: block,
+            total,
+        },
         NandError::PageOutOfRange { page, total } => NorError::WordOutOfRange {
             word: page,
             total: u64::from(total),
         },
-        NandError::DataLength { got, expected } => {
-            NorError::BlockLengthMismatch { got, expected }
-        }
+        NandError::DataLength { got, expected } => NorError::BlockLengthMismatch { got, expected },
         NandError::NopLimitExceeded { .. } => NorError::AccessViolation { word: 0 },
     }
 }
@@ -46,7 +45,10 @@ impl NandWordAdapter {
     /// Wraps a chip.
     #[must_use]
     pub fn new(chip: NandChip) -> Self {
-        Self { chip, page_register: None }
+        Self {
+            chip,
+            page_register: None,
+        }
     }
 
     /// The wrapped chip.
@@ -113,7 +115,10 @@ impl FlashInterface for NandWordAdapter {
     fn program_block(&mut self, seg: SegmentAddr, values: &[u16]) -> Result<(), NorError> {
         let expected = self.geometry().words_per_segment();
         if values.len() != expected {
-            return Err(NorError::BlockLengthMismatch { got: values.len(), expected });
+            return Err(NorError::BlockLengthMismatch {
+                got: values.len(),
+                expected,
+            });
         }
         self.page_register = None;
         let wpp = self.words_per_page() as usize;
@@ -128,7 +133,9 @@ impl FlashInterface for NandWordAdapter {
 
     fn erase_segment(&mut self, seg: SegmentAddr) -> Result<(), NorError> {
         self.page_register = None;
-        self.chip.erase_block(BlockAddr::new(seg.index())).map_err(convert)
+        self.chip
+            .erase_block(BlockAddr::new(seg.index()))
+            .map_err(convert)
     }
 
     fn partial_erase(&mut self, seg: SegmentAddr, t_pe: Micros) -> Result<(), NorError> {
@@ -140,7 +147,9 @@ impl FlashInterface for NandWordAdapter {
 
     fn erase_until_clean(&mut self, seg: SegmentAddr) -> Result<Micros, NorError> {
         self.page_register = None;
-        self.chip.erase_until_clean(BlockAddr::new(seg.index())).map_err(convert)
+        self.chip
+            .erase_until_clean(BlockAddr::new(seg.index()))
+            .map_err(convert)
     }
 
     fn elapsed(&self) -> Seconds {
@@ -158,7 +167,10 @@ impl BulkStress for NandWordAdapter {
     ) -> Result<Seconds, NorError> {
         let expected = self.geometry().words_per_segment();
         if pattern.len() != expected {
-            return Err(NorError::BlockLengthMismatch { got: pattern.len(), expected });
+            return Err(NorError::BlockLengthMismatch {
+                got: pattern.len(),
+                expected,
+            });
         }
         self.page_register = None;
         let start = self.chip.elapsed();

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use flashmark_nor::timing::SimClock;
 use flashmark_physics::cell::{sense, CellState, CellStatics};
 use flashmark_physics::erase::apply_erase;
 use flashmark_physics::noise::PulseNoise;
@@ -11,7 +12,6 @@ use flashmark_physics::rng::{mix2, SplitMix64};
 use flashmark_physics::variation::Normal;
 use flashmark_physics::wear::bulk_pe_stress;
 use flashmark_physics::{Micros, PhysicsParams, Seconds};
-use flashmark_nor::timing::SimClock;
 
 use crate::geometry::{BlockAddr, NandGeometry, PageAddr};
 use crate::timing::NandTimings;
@@ -64,7 +64,10 @@ impl core::fmt::Display for NandError {
                 write!(f, "page buffer has {got} bytes, page holds {expected}")
             }
             Self::NopLimitExceeded { limit } => {
-                write!(f, "page programmed more than {limit} times since the last erase")
+                write!(
+                    f,
+                    "page programmed more than {limit} times since the last erase"
+                )
             }
         }
     }
@@ -150,7 +153,10 @@ impl NandChip {
         if block.index() < self.geometry.blocks() {
             Ok(())
         } else {
-            Err(NandError::BlockOutOfRange { block: block.index(), total: self.geometry.blocks() })
+            Err(NandError::BlockOutOfRange {
+                block: block.index(),
+                total: self.geometry.blocks(),
+            })
         }
     }
 
@@ -173,10 +179,15 @@ impl NandChip {
         let seed = self.chip_seed;
         let pages = self.geometry.pages_per_block() as usize;
         self.blocks.entry(block.index()).or_insert_with(|| {
-            let statics: Vec<CellStatics> =
-                (0..n as u64).map(|i| CellStatics::derive(params, seed, base + i)).collect();
+            let statics: Vec<CellStatics> = (0..n as u64)
+                .map(|i| CellStatics::derive(params, seed, base + i))
+                .collect();
             let states = statics.iter().map(CellState::fresh).collect();
-            BlockCells { statics, states, nop_counts: vec![0; pages] }
+            BlockCells {
+                statics,
+                states,
+                nop_counts: vec![0; pages],
+            }
         })
     }
 
@@ -190,7 +201,9 @@ impl NandChip {
         let params = self.params.clone();
         let cells_per_page = self.geometry.cells_per_page();
         let bytes = self.geometry.bytes_per_page() as usize;
-        let mut rng = self.op_rng.fork(mix2(page.block.index() as u64, page.page as u64));
+        let mut rng = self
+            .op_rng
+            .fork(mix2(page.block.index() as u64, page.page as u64));
         let cells = self.block_cells(page.block);
         let base = page.page as usize * cells_per_page;
         let mut out = vec![0u8; bytes];
@@ -215,11 +228,17 @@ impl NandChip {
         self.check_page(page)?;
         let bytes = self.geometry.bytes_per_page() as usize;
         if data.len() != bytes {
-            return Err(NandError::DataLength { got: data.len(), expected: bytes });
+            return Err(NandError::DataLength {
+                got: data.len(),
+                expected: bytes,
+            });
         }
         let params = self.params.clone();
         let cells_per_page = self.geometry.cells_per_page();
-        let mut rng = self.op_rng.fork(mix2(0x9806, mix2(page.block.index() as u64, page.page as u64)));
+        let mut rng = self.op_rng.fork(mix2(
+            0x9806,
+            mix2(page.block.index() as u64, page.page as u64),
+        ));
         let total = self.timings.page_program_total(bytes);
         let cells = self.block_cells(page.block);
         let nop = &mut cells.nop_counts[page.page as usize];
@@ -232,7 +251,12 @@ impl NandChip {
             for bit in 0..8 {
                 if byte & (1 << bit) == 0 {
                     let idx = base + i * 8 + bit;
-                    apply_program(&params, &cells.statics[idx], &mut cells.states[idx], &mut rng);
+                    apply_program(
+                        &params,
+                        &cells.statics[idx],
+                        &mut cells.states[idx],
+                        &mut rng,
+                    );
                 }
             }
         }
@@ -253,7 +277,12 @@ impl NandChip {
         let base = block.index() as u64 * self.geometry.cells_per_block() as u64;
         let cells = self.block_cells(block);
         let mut done = true;
-        for (i, (st, state)) in cells.statics.iter().zip(cells.states.iter_mut()).enumerate() {
+        for (i, (st, state)) in cells
+            .statics
+            .iter()
+            .zip(cells.states.iter_mut())
+            .enumerate()
+        {
             let eff = pulse.effective_us(&params, st, base + i as u64, t.get());
             done &= apply_erase(&params, st, state, eff).completed;
         }
@@ -334,7 +363,10 @@ impl NandChip {
         self.check_block(block)?;
         let expected = self.geometry.cells_per_block() / 8;
         if pattern.len() != expected {
-            return Err(NandError::DataLength { got: pattern.len(), expected });
+            return Err(NandError::DataLength {
+                got: pattern.len(),
+                expected,
+            });
         }
         let params = self.params.clone();
         let page_bytes = self.geometry.bytes_per_page() as usize;
@@ -354,8 +386,8 @@ impl NandChip {
                 );
             }
         }
-        let per_cycle = self.timings.block_erase
-            + self.timings.page_program_total(page_bytes) * pages;
+        let per_cycle =
+            self.timings.block_erase + self.timings.page_program_total(page_bytes) * pages;
         self.clock.advance(per_cycle * cycles as f64);
         Ok(())
     }
@@ -417,10 +449,16 @@ mod tests {
     fn partial_erase_leaves_mixed_state() {
         let mut c = chip();
         for p in 0..4 {
-            c.program_page(PageAddr::new(BlockAddr::new(0), p), &vec![0u8; 512]).unwrap();
+            c.program_page(PageAddr::new(BlockAddr::new(0), p), &vec![0u8; 512])
+                .unwrap();
         }
-        c.partial_erase_block(BlockAddr::new(0), Micros::new(20.5)).unwrap();
-        let ones = c.ideal_bits(BlockAddr::new(0)).iter().filter(|&&b| b).count();
+        c.partial_erase_block(BlockAddr::new(0), Micros::new(20.5))
+            .unwrap();
+        let ones = c
+            .ideal_bits(BlockAddr::new(0))
+            .iter()
+            .filter(|&&b| b)
+            .count();
         assert!((1000..16_000).contains(&ones), "ones = {ones}");
     }
 

@@ -69,7 +69,11 @@ impl NandGeometry {
             blocks > 0 && pages_per_block > 0 && bytes_per_page > 0,
             "all NAND dimensions must be non-zero"
         );
-        Self { blocks, pages_per_block, bytes_per_page }
+        Self {
+            blocks,
+            pages_per_block,
+            bytes_per_page,
+        }
     }
 
     /// A classic small-block SLC layout: 512-byte pages, 32 pages per block.
@@ -178,7 +182,13 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(NandGeometry::tiny().to_string(), "4 blocks x 4 pages x 512 B");
-        assert_eq!(PageAddr::new(BlockAddr::new(2), 3).to_string(), "blk#2/pg#3");
+        assert_eq!(
+            NandGeometry::tiny().to_string(),
+            "4 blocks x 4 pages x 512 B"
+        );
+        assert_eq!(
+            PageAddr::new(BlockAddr::new(2), 3).to_string(),
+            "blk#2/pg#3"
+        );
     }
 }

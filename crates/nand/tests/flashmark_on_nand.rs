@@ -25,7 +25,9 @@ fn imprint_and_extract_on_nand() {
         .unwrap();
     let wm = Watermark::from_ascii("NAND-TOO").unwrap();
     Imprinter::new(&cfg).imprint(&mut flash, seg, &wm).unwrap();
-    let e = Extractor::new(&cfg).extract(&mut flash, seg, wm.len()).unwrap();
+    let e = Extractor::new(&cfg)
+        .extract(&mut flash, seg, wm.len())
+        .unwrap();
     assert_eq!(e.bits(), wm.bits(), "watermark round trip on NAND");
 }
 
@@ -35,8 +37,13 @@ fn characterization_works_on_nand() {
     let sweep = SweepSpec::new(Micros::new(0.0), Micros::new(50.0), Micros::new(10.0)).unwrap();
     let curve = characterize_segment(&mut flash, SegmentAddr::new(1), &sweep, 3).unwrap();
     assert_eq!(curve.total_cells(), 16_384);
-    assert_eq!(curve.points[0].cells_0, 16_384, "t=0: everything programmed");
-    let done = curve.all_erased_time().expect("fresh block completes in sweep");
+    assert_eq!(
+        curve.points[0].cells_0, 16_384,
+        "t=0: everything programmed"
+    );
+    let done = curve
+        .all_erased_time()
+        .expect("fresh block completes in sweep");
     assert!(done.get() <= 50.0);
 }
 
@@ -55,7 +62,11 @@ fn nand_imprint_is_far_faster_than_msp430_nor() {
     // time will be significantly smaller" — NAND's 2 ms block erase makes
     // the point emphatically.
     let mut flash = nand(0x0AD4);
-    let cfg = FlashmarkConfig::builder().n_pe(40_000).replicas(3).build().unwrap();
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(40_000)
+        .replicas(3)
+        .build()
+        .unwrap();
     let wm = Watermark::from_ascii("FAST").unwrap();
     let report = Imprinter::new(&cfg)
         .imprint(&mut flash, SegmentAddr::new(0), &wm)
@@ -90,6 +101,8 @@ fn wear_is_permanent_on_nand_too() {
     }
     flash.erase_segment(seg).unwrap();
 
-    let e = Extractor::new(&cfg).extract(&mut flash, seg, wm.len()).unwrap();
+    let e = Extractor::new(&cfg)
+        .extract(&mut flash, seg, wm.len())
+        .unwrap();
     assert_eq!(e.bits(), wm.bits(), "watermark survives the attack on NAND");
 }

@@ -171,7 +171,12 @@ impl FlashArray {
     ///
     /// Returns [`NorError::WordOutOfRange`] or, in strict mode,
     /// [`NorError::OverwriteWithoutErase`].
-    pub fn program_word(&mut self, word: WordAddr, value: u16, strict: bool) -> Result<(), NorError> {
+    pub fn program_word(
+        &mut self,
+        word: WordAddr,
+        value: u16,
+        strict: bool,
+    ) -> Result<(), NorError> {
         self.geometry.check_word(word)?;
         let seg = self.geometry.segment_of(word);
         let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
@@ -189,7 +194,12 @@ impl FlashArray {
         }
         for bit in 0..WORD_BITS {
             if value & (1 << bit) == 0 {
-                apply_program(&params, &cells.statics[offset + bit], &mut cells.states[offset + bit], &mut rng);
+                apply_program(
+                    &params,
+                    &cells.statics[offset + bit],
+                    &mut cells.states[offset + bit],
+                    &mut rng,
+                );
             }
         }
         Ok(())
@@ -236,7 +246,12 @@ impl FlashArray {
         let base_cell = seg.index() as u64 * self.geometry.cells_per_segment() as u64;
         let cells = self.segment_cells(seg);
         let mut all_done = true;
-        for (i, (st, state)) in cells.statics.iter().zip(cells.states.iter_mut()).enumerate() {
+        for (i, (st, state)) in cells
+            .statics
+            .iter()
+            .zip(cells.states.iter_mut())
+            .enumerate()
+        {
             let eff = pulse.effective_us(&params, st, base_cell + i as u64, t_pe.get()) * temp;
             let out = apply_erase(&params, st, state, eff);
             all_done &= out.completed;
@@ -253,12 +268,19 @@ impl FlashArray {
     /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn erase_complete(&mut self, seg: SegmentAddr, nominal: Micros) -> Result<(), NorError> {
         let done = self.erase_pulse(seg, nominal)?;
-        debug_assert!(done, "nominal erase did not complete; calibration out of range?");
+        debug_assert!(
+            done,
+            "nominal erase did not complete; calibration out of range?"
+        );
         Ok(())
     }
 
     /// Time until the slowest cell of the segment finishes erasing, from the
     /// segment's *current* state (used by the early-exit erase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn erase_completion_time(&mut self, seg: SegmentAddr) -> Result<Micros, NorError> {
         self.geometry.check_segment(seg)?;
         let params = self.params.clone();
@@ -339,13 +361,16 @@ impl FlashArray {
     pub fn wear_stats(&mut self, seg: SegmentAddr) -> WearStats {
         let cells = self.segment_cells(seg);
         let n = cells.states.len() as f64;
-        let mut stats = WearStats { min_cycles: f64::INFINITY, ..WearStats::default() };
+        let mut stats = WearStats {
+            min_cycles: f64::INFINITY,
+            ..WearStats::default()
+        };
         for s in &cells.states {
             stats.min_cycles = stats.min_cycles.min(s.wear_cycles);
             stats.max_cycles = stats.max_cycles.max(s.wear_cycles);
             stats.mean_cycles += s.wear_cycles / n;
         }
-        if stats.min_cycles == f64::INFINITY {
+        if stats.min_cycles.is_infinite() {
             stats.min_cycles = 0.0;
         }
         stats
@@ -365,7 +390,11 @@ mod tests {
     use super::*;
 
     fn array() -> FlashArray {
-        FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(8), 0xFACE)
+        FlashArray::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(8),
+            0xFACE,
+        )
     }
 
     #[test]
@@ -454,8 +483,16 @@ mod tests {
     #[test]
     fn bulk_stress_validates_pattern_length() {
         let mut a = array();
-        let err = a.bulk_stress(SegmentAddr::new(0), &[0u16; 3], 10).unwrap_err();
-        assert!(matches!(err, NorError::BlockLengthMismatch { got: 3, expected: 256 }));
+        let err = a
+            .bulk_stress(SegmentAddr::new(0), &[0u16; 3], 10)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NorError::BlockLengthMismatch {
+                got: 3,
+                expected: 256
+            }
+        ));
     }
 
     #[test]
@@ -463,7 +500,8 @@ mod tests {
         let mut a = array();
         let fresh_seg = SegmentAddr::new(5);
         let worn_seg = SegmentAddr::new(6);
-        a.bulk_stress(worn_seg, &vec![0x0000u16; 256], 50_000).unwrap();
+        a.bulk_stress(worn_seg, &vec![0x0000u16; 256], 50_000)
+            .unwrap();
         // Program both fully, then measure completion times.
         for seg in [fresh_seg, worn_seg] {
             a.erase_complete(seg, Micros::from_millis(25.0)).unwrap();
@@ -483,13 +521,23 @@ mod tests {
     fn out_of_range_addresses_error() {
         let mut a = array();
         assert!(a.read_word(WordAddr::new(8 * 256)).is_err());
-        assert!(a.erase_pulse(SegmentAddr::new(8), Micros::new(1.0)).is_err());
+        assert!(a
+            .erase_pulse(SegmentAddr::new(8), Micros::new(1.0))
+            .is_err());
     }
 
     #[test]
     fn same_seed_same_chip() {
-        let mut a = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 7);
-        let mut b = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 7);
+        let mut a = FlashArray::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(2),
+            7,
+        );
+        let mut b = FlashArray::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(2),
+            7,
+        );
         let seg = SegmentAddr::new(0);
         for arr in [&mut a, &mut b] {
             for w in arr.geometry().segment_words(seg) {
@@ -502,8 +550,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut a = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 7);
-        let mut b = FlashArray::new(PhysicsParams::msp430_like(), FlashGeometry::single_bank(2), 8);
+        let mut a = FlashArray::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(2),
+            7,
+        );
+        let mut b = FlashArray::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(2),
+            8,
+        );
         let seg = SegmentAddr::new(0);
         for arr in [&mut a, &mut b] {
             for w in arr.geometry().segment_words(seg) {
@@ -520,7 +576,10 @@ mod tests {
         assert!(a.touched_segments().is_empty());
         let _ = a.read_word(WordAddr::new(256));
         let _ = a.read_word(WordAddr::new(0));
-        assert_eq!(a.touched_segments(), vec![SegmentAddr::new(0), SegmentAddr::new(1)]);
+        assert_eq!(
+            a.touched_segments(),
+            vec![SegmentAddr::new(0), SegmentAddr::new(1)]
+        );
     }
 
     #[test]

@@ -160,7 +160,8 @@ impl FlashController {
         for seg in self.array.touched_segments() {
             self.array.erase_complete(seg, self.timings.mass_erase)?;
         }
-        self.clock.advance(self.timings.setup_overhead + self.timings.mass_erase);
+        self.clock
+            .advance(self.timings.setup_overhead + self.timings.mass_erase);
         self.counters.mass_erases += 1;
         self.trace.record(self.clock.now(), FlashEvent::MassErase);
         Ok(())
@@ -169,7 +170,12 @@ impl FlashController {
     /// Charges `dt` of program time against one 128-byte row's `tCPT`
     /// budget (the datasheet bounds cumulative programming per row between
     /// erases).
-    fn charge_program_time(&mut self, seg: SegmentAddr, row: u32, dt: Micros) -> Result<(), NorError> {
+    fn charge_program_time(
+        &mut self,
+        seg: SegmentAddr,
+        row: u32,
+        dt: Micros,
+    ) -> Result<(), NorError> {
         let limit = self.timings.cumulative_program_limit;
         if limit.get() <= 0.0 {
             return Ok(());
@@ -179,14 +185,17 @@ impl FlashController {
             .entry((seg.index(), row))
             .or_insert(Micros::new(0.0));
         if (*spent + dt).get() > limit.get() {
-            return Err(NorError::CumulativeProgramTime { segment: seg.index() });
+            return Err(NorError::CumulativeProgramTime {
+                segment: seg.index(),
+            });
         }
         *spent += dt;
         Ok(())
     }
 
     fn clear_program_budget(&mut self, seg: SegmentAddr) {
-        self.cumulative_program.retain(|&(s, _), _| s != seg.index());
+        self.cumulative_program
+            .retain(|&(s, _), _| s != seg.index());
     }
 
     fn check_writable(&self) -> Result<(), NorError> {
@@ -204,7 +213,12 @@ impl FlashController {
     /// Estimated erase time of one early-exited erase at a hypothetical
     /// uniform wear (used by the bulk-imprint time integral): the slowest
     /// stressed cell's crossing time, extended to full completion.
-    fn early_exit_estimate(&mut self, seg: SegmentAddr, pattern: &[u16], wear_cycles: f64) -> Micros {
+    fn early_exit_estimate(
+        &mut self,
+        seg: SegmentAddr,
+        pattern: &[u16],
+        wear_cycles: f64,
+    ) -> Micros {
         let params = self.array.params().clone();
         let full_ratio = {
             // Ratio of full-erase time to reference-crossing time, from the
@@ -221,7 +235,11 @@ impl FlashController {
             let stressed = pattern[word] & (1 << bit) == 0;
             // Spared cells still accrue erase-only wear each cycle.
             let spared_ratio = params.wear.erase_only / (params.wear.program + params.wear.erase);
-            let w = if stressed { wear_cycles } else { wear_cycles * spared_ratio };
+            let w = if stressed {
+                wear_cycles
+            } else {
+                wear_cycles * spared_ratio
+            };
             worst = worst.max(t_cross_us(&params, st, w));
         }
         Micros::new(worst * full_ratio)
@@ -237,7 +255,8 @@ impl FlashInterface for FlashController {
         let v = self.array.read_word(word)?;
         self.clock.advance(self.timings.read_word);
         self.counters.word_reads += 1;
-        self.trace.record(self.clock.now(), FlashEvent::ReadWord { word });
+        self.trace
+            .record(self.clock.now(), FlashEvent::ReadWord { word });
         Ok(v)
     }
 
@@ -249,7 +268,8 @@ impl FlashInterface for FlashController {
         self.array.program_word(word, value, self.strict_program)?;
         self.clock.advance(self.timings.program_word);
         self.counters.word_programs += 1;
-        self.trace.record(self.clock.now(), FlashEvent::ProgramWord { word });
+        self.trace
+            .record(self.clock.now(), FlashEvent::ProgramWord { word });
         Ok(())
     }
 
@@ -257,7 +277,10 @@ impl FlashInterface for FlashController {
         self.check_writable()?;
         let n = self.geometry().words_per_segment();
         if values.len() != n {
-            return Err(NorError::BlockLengthMismatch { got: values.len(), expected: n });
+            return Err(NorError::BlockLengthMismatch {
+                got: values.len(),
+                expected: n,
+            });
         }
         // A block write spreads its time evenly over the segment's rows.
         let rows = (n / 64).max(1) as u32;
@@ -267,11 +290,13 @@ impl FlashInterface for FlashController {
         }
         let base = self.geometry().first_word(seg);
         for (i, &v) in values.iter().enumerate() {
-            self.array.program_word(base.offset(i as u32), v, self.strict_program)?;
+            self.array
+                .program_word(base.offset(i as u32), v, self.strict_program)?;
         }
         self.clock.advance(self.timings.block_write(n));
         self.counters.block_programs += 1;
-        self.trace.record(self.clock.now(), FlashEvent::ProgramBlock { seg });
+        self.trace
+            .record(self.clock.now(), FlashEvent::ProgramBlock { seg });
         Ok(())
     }
 
@@ -279,9 +304,11 @@ impl FlashInterface for FlashController {
         self.check_writable()?;
         self.clear_program_budget(seg);
         self.array.erase_complete(seg, self.timings.erase_segment)?;
-        self.clock.advance(self.timings.setup_overhead + self.timings.erase_segment);
+        self.clock
+            .advance(self.timings.setup_overhead + self.timings.erase_segment);
         self.counters.segment_erases += 1;
-        self.trace.record(self.clock.now(), FlashEvent::EraseSegment { seg });
+        self.trace
+            .record(self.clock.now(), FlashEvent::EraseSegment { seg });
         Ok(())
     }
 
@@ -292,7 +319,8 @@ impl FlashInterface for FlashController {
         self.clock
             .advance(self.timings.setup_overhead + t_pe + self.timings.abort_latency);
         self.counters.partial_erases += 1;
-        self.trace.record(self.clock.now(), FlashEvent::PartialErase { seg, t_pe });
+        self.trace
+            .record(self.clock.now(), FlashEvent::PartialErase { seg, t_pe });
         Ok(())
     }
 
@@ -311,8 +339,10 @@ impl FlashInterface for FlashController {
             }
         }
         self.counters.early_exit_erases += 1;
-        self.trace
-            .record(self.clock.now(), FlashEvent::EraseUntilClean { seg, took: spent });
+        self.trace.record(
+            self.clock.now(),
+            FlashEvent::EraseUntilClean { seg, took: spent },
+        );
         Ok(spent)
     }
 
@@ -343,7 +373,10 @@ impl BulkStress for FlashController {
         self.check_writable()?;
         let n = self.geometry().words_per_segment();
         if pattern.len() != n {
-            return Err(NorError::BlockLengthMismatch { got: pattern.len(), expected: n });
+            return Err(NorError::BlockLengthMismatch {
+                got: pattern.len(),
+                expected: n,
+            });
         }
         let start = self.clock.now();
         // Time accounting first (needs pre-stress statics only, but wear is
@@ -366,8 +399,8 @@ impl BulkStress for FlashController {
                     // polling overhead the loop implementation would pay.
                     let step = self.poll_step.get();
                     let pulses = (est / step).ceil().max(1.0);
-                    let per_erase =
-                        pulses * (step + self.poll_overhead().get()) + self.timings.setup_overhead.get();
+                    let per_erase = pulses * (step + self.poll_overhead().get())
+                        + self.timings.setup_overhead.get();
                     let weight = if s == 0 || s == SAMPLES { 0.5 } else { 1.0 };
                     erase_total += weight * per_erase;
                 }
@@ -424,10 +457,17 @@ mod tests {
         let mut ctl = controller();
         ctl.lock();
         assert!(ctl.is_locked());
-        assert_eq!(ctl.program_word(WordAddr::new(0), 0).unwrap_err(), NorError::Locked);
-        assert_eq!(ctl.erase_segment(SegmentAddr::new(0)).unwrap_err(), NorError::Locked);
         assert_eq!(
-            ctl.partial_erase(SegmentAddr::new(0), Micros::new(10.0)).unwrap_err(),
+            ctl.program_word(WordAddr::new(0), 0).unwrap_err(),
+            NorError::Locked
+        );
+        assert_eq!(
+            ctl.erase_segment(SegmentAddr::new(0)).unwrap_err(),
+            NorError::Locked
+        );
+        assert_eq!(
+            ctl.partial_erase(SegmentAddr::new(0), Micros::new(10.0))
+                .unwrap_err(),
             NorError::Locked
         );
         assert!(ctl.read_word(WordAddr::new(0)).is_ok());
@@ -468,7 +508,10 @@ mod tests {
         let dt = ctl
             .bulk_imprint(seg, &vec![0u16; 256], 40_000, ImprintTiming::Baseline)
             .unwrap();
-        assert!((1340.0..=1420.0).contains(&dt.get()), "baseline 40K took {dt}");
+        assert!(
+            (1340.0..=1420.0).contains(&dt.get()),
+            "baseline 40K took {dt}"
+        );
     }
 
     #[test]
@@ -480,7 +523,12 @@ mod tests {
             .unwrap();
         let mut ctl2 = controller();
         let slow = ctl2
-            .bulk_imprint(SegmentAddr::new(4), &vec![0u16; 256], 40_000, ImprintTiming::Baseline)
+            .bulk_imprint(
+                SegmentAddr::new(4),
+                &vec![0u16; 256],
+                40_000,
+                ImprintTiming::Baseline,
+            )
             .unwrap();
         let speedup = slow.get() / fast.get();
         assert!((2.8..=4.5).contains(&speedup), "speedup {speedup}");
@@ -492,7 +540,8 @@ mod tests {
         let seg = SegmentAddr::new(5);
         let mut pattern = vec![0xFFFFu16; 256];
         pattern[3] = 0x5443;
-        ctl.bulk_imprint(seg, &pattern, 1_000, ImprintTiming::Baseline).unwrap();
+        ctl.bulk_imprint(seg, &pattern, 1_000, ImprintTiming::Baseline)
+            .unwrap();
         let base = ctl.geometry().first_word(seg);
         assert_eq!(ctl.read_word(base.offset(3)).unwrap(), 0x5443);
         assert_eq!(ctl.read_word(base.offset(4)).unwrap(), 0xFFFF);
@@ -503,7 +552,8 @@ mod tests {
         let mut ctl = controller();
         ctl.trace_mut().enable();
         ctl.erase_segment(SegmentAddr::new(0)).unwrap();
-        ctl.partial_erase(SegmentAddr::new(0), Micros::new(20.0)).unwrap();
+        ctl.partial_erase(SegmentAddr::new(0), Micros::new(20.0))
+            .unwrap();
         let events = ctl.trace().events();
         assert_eq!(events.len(), 2);
         assert!(matches!(events[0].1, FlashEvent::EraseSegment { .. }));
@@ -540,7 +590,10 @@ mod tests {
         }
         assert!(hit_limit, "tCPT budget never tripped");
         ctl.erase_segment(SegmentAddr::new(0)).unwrap();
-        assert!(ctl.program_word(w, 0x0000).is_ok(), "erase must reset the budget");
+        assert!(
+            ctl.program_word(w, 0x0000).is_ok(),
+            "erase must reset the budget"
+        );
     }
 
     #[test]
@@ -559,7 +612,8 @@ mod tests {
     fn block_length_validated() {
         let mut ctl = controller();
         assert!(matches!(
-            ctl.program_block(SegmentAddr::new(0), &[0u16; 3]).unwrap_err(),
+            ctl.program_block(SegmentAddr::new(0), &[0u16; 3])
+                .unwrap_err(),
             NorError::BlockLengthMismatch { .. }
         ));
     }

@@ -74,7 +74,10 @@ impl fmt::Display for NorError {
         match self {
             Self::InvalidGeometry(why) => write!(f, "invalid flash geometry: {why}"),
             Self::SegmentOutOfRange { segment, total } => {
-                write!(f, "segment {segment} out of range (device has {total} segments)")
+                write!(
+                    f,
+                    "segment {segment} out of range (device has {total} segments)"
+                )
             }
             Self::WordOutOfRange { word, total } => {
                 write!(f, "word {word} out of range (device has {total} words)")
@@ -83,20 +86,32 @@ impl fmt::Display for NorError {
             Self::Busy => write!(f, "flash controller is busy"),
             Self::NoEraseInProgress => write!(f, "no erase operation in progress to abort"),
             Self::OverwriteWithoutErase { word } => {
-                write!(f, "program of word {word} would flip 0 bits to 1 without an erase")
+                write!(
+                    f,
+                    "program of word {word} would flip 0 bits to 1 without an erase"
+                )
             }
             Self::KeyViolation => write!(f, "register write with invalid password key"),
             Self::AccessViolation { word } => {
-                write!(f, "flash access violation at word {word} (mode bits do not allow it)")
+                write!(
+                    f,
+                    "flash access violation at word {word} (mode bits do not allow it)"
+                )
             }
             Self::BlockLengthMismatch { got, expected } => {
                 write!(f, "block buffer has {got} words, segment needs {expected}")
             }
             Self::CumulativeProgramTime { segment } => {
-                write!(f, "cumulative program time of segment {segment} exceeded; erase required")
+                write!(
+                    f,
+                    "cumulative program time of segment {segment} exceeded; erase required"
+                )
             }
             Self::WearModelRange { kcycles } => {
-                write!(f, "wear of {kcycles} kcycles is outside the calibrated model range")
+                write!(
+                    f,
+                    "wear of {kcycles} kcycles is outside the calibrated model range"
+                )
             }
         }
     }
@@ -112,14 +127,23 @@ mod tests {
     fn display_messages_are_lowercase_prose() {
         let samples: Vec<NorError> = vec![
             NorError::InvalidGeometry("zero banks"),
-            NorError::SegmentOutOfRange { segment: 9, total: 8 },
-            NorError::WordOutOfRange { word: 4096, total: 4096 },
+            NorError::SegmentOutOfRange {
+                segment: 9,
+                total: 8,
+            },
+            NorError::WordOutOfRange {
+                word: 4096,
+                total: 4096,
+            },
             NorError::Locked,
             NorError::Busy,
             NorError::NoEraseInProgress,
             NorError::OverwriteWithoutErase { word: 3 },
             NorError::KeyViolation,
-            NorError::BlockLengthMismatch { got: 3, expected: 256 },
+            NorError::BlockLengthMismatch {
+                got: 3,
+                expected: 256,
+            },
         ];
         for e in samples {
             let msg = e.to_string();

@@ -27,14 +27,24 @@ impl FlashGeometry {
     ///
     /// Returns [`NorError::InvalidGeometry`] if any dimension is zero or the
     /// segment size is not a multiple of the word size.
-    pub fn new(banks: u16, segments_per_bank: u32, bytes_per_segment: u32) -> Result<Self, NorError> {
+    pub fn new(
+        banks: u16,
+        segments_per_bank: u32,
+        bytes_per_segment: u32,
+    ) -> Result<Self, NorError> {
         if banks == 0 || segments_per_bank == 0 || bytes_per_segment == 0 {
             return Err(NorError::InvalidGeometry("all dimensions must be non-zero"));
         }
         if !bytes_per_segment.is_multiple_of(WORD_BITS as u32 / 8) {
-            return Err(NorError::InvalidGeometry("segment size must be a multiple of the word size"));
+            return Err(NorError::InvalidGeometry(
+                "segment size must be a multiple of the word size",
+            ));
         }
-        Ok(Self { banks, segments_per_bank, bytes_per_segment })
+        Ok(Self {
+            banks,
+            segments_per_bank,
+            bytes_per_segment,
+        })
     }
 
     /// A single bank of `segments` standard 512-byte segments.
@@ -44,7 +54,12 @@ impl FlashGeometry {
     /// Panics if `segments` is zero.
     #[must_use]
     pub fn single_bank(segments: u32) -> Self {
-        Self::new(1, segments, 512).expect("512-byte segments are always valid")
+        assert!(segments > 0, "segment count must be non-zero");
+        Self {
+            banks: 1,
+            segments_per_bank: segments,
+            bytes_per_segment: 512,
+        }
     }
 
     /// Number of banks.
@@ -135,7 +150,10 @@ impl FlashGeometry {
         if seg.index() < self.total_segments() {
             Ok(())
         } else {
-            Err(NorError::SegmentOutOfRange { segment: seg.index(), total: self.total_segments() })
+            Err(NorError::SegmentOutOfRange {
+                segment: seg.index(),
+                total: self.total_segments(),
+            })
         }
     }
 
@@ -148,7 +166,10 @@ impl FlashGeometry {
         if (word.index() as u64) < self.total_words() {
             Ok(())
         } else {
-            Err(NorError::WordOutOfRange { word: word.index(), total: self.total_words() })
+            Err(NorError::WordOutOfRange {
+                word: word.index(),
+                total: self.total_words(),
+            })
         }
     }
 

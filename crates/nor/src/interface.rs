@@ -94,7 +94,10 @@ pub trait FlashInterfaceExt: FlashInterface {
     ///
     /// Propagates the first read error.
     fn read_segment(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
-        self.geometry().segment_words(seg).map(|w| self.read_word(w)).collect()
+        self.geometry()
+            .segment_words(seg)
+            .map(|w| self.read_word(w))
+            .collect()
     }
 
     /// Programs every word of a segment to 0 (all cells programmed) using
@@ -110,6 +113,60 @@ pub trait FlashInterfaceExt: FlashInterface {
 }
 
 impl<T: FlashInterface + ?Sized> FlashInterfaceExt for T {}
+
+// Mutable references are flash interfaces too, so wrappers (sanitizers,
+// adapters) can be layered over a borrow without taking ownership.
+impl<T: FlashInterface + ?Sized> FlashInterface for &mut T {
+    fn geometry(&self) -> FlashGeometry {
+        (**self).geometry()
+    }
+
+    fn read_word(&mut self, word: WordAddr) -> Result<u16, NorError> {
+        (**self).read_word(word)
+    }
+
+    fn program_word(&mut self, word: WordAddr, value: u16) -> Result<(), NorError> {
+        (**self).program_word(word, value)
+    }
+
+    fn program_block(&mut self, seg: SegmentAddr, values: &[u16]) -> Result<(), NorError> {
+        (**self).program_block(seg, values)
+    }
+
+    fn erase_segment(&mut self, seg: SegmentAddr) -> Result<(), NorError> {
+        (**self).erase_segment(seg)
+    }
+
+    fn partial_erase(&mut self, seg: SegmentAddr, t_pe: Micros) -> Result<(), NorError> {
+        (**self).partial_erase(seg, t_pe)
+    }
+
+    fn erase_until_clean(&mut self, seg: SegmentAddr) -> Result<Micros, NorError> {
+        (**self).erase_until_clean(seg)
+    }
+
+    fn elapsed(&self) -> Seconds {
+        (**self).elapsed()
+    }
+}
+
+impl<T: PartialProgram + ?Sized> PartialProgram for &mut T {
+    fn partial_program(&mut self, seg: SegmentAddr, t_pp: Micros) -> Result<(), NorError> {
+        (**self).partial_program(seg, t_pp)
+    }
+}
+
+impl<T: BulkStress + ?Sized> BulkStress for &mut T {
+    fn bulk_imprint(
+        &mut self,
+        seg: SegmentAddr,
+        pattern: &[u16],
+        cycles: u64,
+        timing: ImprintTiming,
+    ) -> Result<Seconds, NorError> {
+        (**self).bulk_imprint(seg, pattern, cycles, timing)
+    }
+}
 
 /// Optional capability: partial (aborted) program pulses over a whole
 /// segment — the sensing primitive of the FFD-style recycled-flash

@@ -68,7 +68,12 @@ impl RegisterFront {
     #[must_use]
     pub fn new(mut ctl: FlashController) -> Self {
         ctl.lock();
-        Self { ctl, fctl1: 0, fctl3: LOCK, fctl4: 0 }
+        Self {
+            ctl,
+            fctl1: 0,
+            fctl3: LOCK,
+            fctl4: 0,
+        }
     }
 
     /// The wrapped controller.
@@ -219,7 +224,10 @@ mod tests {
     fn powers_up_locked() {
         let mut f = front();
         assert_eq!(f.read_register(Fctl::Fctl3) & LOCK, LOCK);
-        assert_eq!(f.write_word(WordAddr::new(0), 0).unwrap_err(), NorError::Locked);
+        assert_eq!(
+            f.write_word(WordAddr::new(0), 0).unwrap_err(),
+            NorError::Locked
+        );
     }
 
     #[test]
@@ -265,7 +273,11 @@ mod tests {
         f.write_word(WordAddr::new(5), 0x0000).unwrap();
         f.write_register(Fctl::Fctl1, FWKEY | ERASE).unwrap();
         f.write_word(WordAddr::new(0), 0xBEEF).unwrap(); // dummy
-        assert_eq!(f.read_register(Fctl::Fctl1) & ERASE, 0, "ERASE must self-clear");
+        assert_eq!(
+            f.read_register(Fctl::Fctl1) & ERASE,
+            0,
+            "ERASE must self-clear"
+        );
         assert_eq!(f.read_word(WordAddr::new(5)).unwrap(), 0xFFFF);
     }
 
@@ -289,7 +301,8 @@ mod tests {
             f.write_word(w, 0x0000).unwrap();
         }
         f.write_register(Fctl::Fctl1, FWKEY | ERASE).unwrap();
-        f.emergency_exit_after(SegmentAddr::new(0), Micros::new(19.5)).unwrap();
+        f.emergency_exit_after(SegmentAddr::new(0), Micros::new(19.5))
+            .unwrap();
         assert_eq!(f.read_register(Fctl::Fctl3) & EMEX, EMEX);
         // Roughly half the fresh cells should have crossed.
         let ones: u32 = (0..256)

@@ -134,11 +134,21 @@ mod tests {
         let t = FlashTimings::msp430();
         let cycle = t.baseline_imprint_cycle(256);
         // Paper: 40 K cycles -> 1380 s, i.e. 34.5 ms per cycle.
-        assert!((cycle.as_millis() - 34.5).abs() < 0.2, "cycle = {} ms", cycle.as_millis());
+        assert!(
+            (cycle.as_millis() - 34.5).abs() < 0.2,
+            "cycle = {} ms",
+            cycle.as_millis()
+        );
         let total_40k = cycle.to_seconds() * 40_000.0;
-        assert!((total_40k.get() - 1380.0).abs() < 10.0, "40K imprint = {total_40k}");
+        assert!(
+            (total_40k.get() - 1380.0).abs() < 10.0,
+            "40K imprint = {total_40k}"
+        );
         let total_70k = cycle.to_seconds() * 70_000.0;
-        assert!((total_70k.get() - 2415.0).abs() < 17.0, "70K imprint = {total_70k}");
+        assert!(
+            (total_70k.get() - 2415.0).abs() < 17.0,
+            "70K imprint = {total_70k}"
+        );
     }
 
     #[test]

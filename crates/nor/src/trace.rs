@@ -70,7 +70,10 @@ impl Trace {
     /// Creates a disabled trace with the default capacity (64 K events).
     #[must_use]
     pub fn new() -> Self {
-        Self { capacity: 65_536, ..Self::default() }
+        Self {
+            capacity: 65_536,
+            ..Self::default()
+        }
     }
 
     /// Enables recording.
@@ -92,6 +95,24 @@ impl Trace {
     /// Also record individual reads (noisy; off by default).
     pub fn set_record_reads(&mut self, on: bool) {
         self.record_reads = on;
+    }
+
+    /// Changes the event capacity. Shrinking below the current event count
+    /// discards the oldest events (counted as dropped), keeping the most
+    /// recent window — the part a backtrace wants.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if self.events.len() > capacity {
+            let excess = self.events.len() - capacity;
+            self.events.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// The event capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Records an event at simulated time `at`.
@@ -143,7 +164,12 @@ mod tests {
     fn enabled_trace_records() {
         let mut t = Trace::new();
         t.enable();
-        t.record(Seconds::new(1.0), FlashEvent::EraseSegment { seg: SegmentAddr::new(2) });
+        t.record(
+            Seconds::new(1.0),
+            FlashEvent::EraseSegment {
+                seg: SegmentAddr::new(2),
+            },
+        );
         assert_eq!(t.events().len(), 1);
         assert!(t.is_enabled());
     }
@@ -152,16 +178,46 @@ mod tests {
     fn reads_skipped_unless_opted_in() {
         let mut t = Trace::new();
         t.enable();
-        t.record(Seconds::new(0.0), FlashEvent::ReadWord { word: WordAddr::new(1) });
+        t.record(
+            Seconds::new(0.0),
+            FlashEvent::ReadWord {
+                word: WordAddr::new(1),
+            },
+        );
         assert!(t.events().is_empty());
         t.set_record_reads(true);
-        t.record(Seconds::new(0.0), FlashEvent::ReadWord { word: WordAddr::new(1) });
+        t.record(
+            Seconds::new(0.0),
+            FlashEvent::ReadWord {
+                word: WordAddr::new(1),
+            },
+        );
         assert_eq!(t.events().len(), 1);
     }
 
     #[test]
+    fn set_capacity_keeps_newest_events() {
+        let mut t = Trace::new();
+        t.enable();
+        for i in 0..10 {
+            t.record(Seconds::new(f64::from(i)), FlashEvent::MassErase);
+        }
+        t.set_capacity(3);
+        assert_eq!(t.capacity(), 3);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[0].0, Seconds::new(7.0));
+        assert_eq!(t.dropped(), 7);
+        // Growing back does not resurrect anything.
+        t.set_capacity(100);
+        assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
     fn capacity_bounds_and_counts_drops() {
-        let mut t = Trace { capacity: 2, ..Trace::default() };
+        let mut t = Trace {
+            capacity: 2,
+            ..Trace::default()
+        };
         t.enable();
         for _ in 0..5 {
             t.record(Seconds::new(0.0), FlashEvent::MassErase);

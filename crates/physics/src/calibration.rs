@@ -42,7 +42,11 @@ impl WearAnchor {
     /// Creates an anchor.
     #[must_use]
     pub const fn new(kcycles: f64, median_us: f64, sigma: f64) -> Self {
-        Self { kcycles, median_us, sigma }
+        Self {
+            kcycles,
+            median_us,
+            sigma,
+        }
     }
 }
 
@@ -99,7 +103,13 @@ impl SusceptibilityTable {
         if quantiles.len() < 2 {
             return Err(CalibrationError::InvalidAnchor);
         }
-        if quantiles[0].0 != 0.0 || quantiles.last().expect("non-empty").0 != 1.0 {
+        let first = quantiles[0].0;
+        let Some(&(last, _)) = quantiles.last() else {
+            return Err(CalibrationError::InvalidAnchor);
+        };
+        // Anchor endpoints must sit at probabilities 0 and 1 (to float
+        // tolerance — no exact f64 equality).
+        if first.abs() > 1e-12 || (last - 1.0).abs() > 1e-12 {
             return Err(CalibrationError::InvalidAnchor);
         }
         for pair in quantiles.windows(2) {
@@ -107,13 +117,20 @@ impl SusceptibilityTable {
                 return Err(CalibrationError::InvalidAnchor);
             }
         }
-        if quantiles.iter().any(|&(u, s)| !u.is_finite() || !s.is_finite() || s <= 0.0) {
+        if quantiles
+            .iter()
+            .any(|&(u, s)| !u.is_finite() || !s.is_finite() || s <= 0.0)
+        {
             return Err(CalibrationError::InvalidAnchor);
         }
         Ok(Self { quantiles })
     }
 
     /// The default table calibrated to the paper's Fig. 9 BER minima.
+    #[expect(
+        clippy::missing_panics_doc,
+        reason = "builtin table is statically valid"
+    )]
     #[must_use]
     pub fn msp430() -> Self {
         Self::from_quantiles(vec![
@@ -134,6 +151,10 @@ impl SusceptibilityTable {
 
     /// A degenerate table where every cell responds identically (useful for
     /// isolating the susceptibility effect in ablations).
+    #[expect(
+        clippy::missing_panics_doc,
+        reason = "builtin table is statically valid"
+    )]
     #[must_use]
     pub fn uniform_response() -> Self {
         Self::from_quantiles(vec![(0.0, 1.0), (1.0, 1.0)]).expect("valid")
@@ -141,6 +162,10 @@ impl SusceptibilityTable {
 
     /// Susceptibility at cumulative probability `u` (piecewise-linear
     /// inverse CDF).
+    #[expect(
+        clippy::missing_panics_doc,
+        reason = "constructor guarantees >= 2 quantiles"
+    )]
     #[must_use]
     pub fn at(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);
@@ -229,6 +254,10 @@ impl EraseCalibration {
     }
 
     /// The default calibration fitted to the paper's MSP430 measurements.
+    #[expect(
+        clippy::missing_panics_doc,
+        reason = "builtin table is statically valid"
+    )]
     #[must_use]
     pub fn msp430() -> Self {
         Self::from_anchors(MSP430_ANCHORS.to_vec()).expect("builtin table is valid")
@@ -394,7 +423,14 @@ mod tests {
         // the experiment harness).
         let cal = EraseCalibration::msp430();
         let headroom = 0.30;
-        let paper = [(0.0, 35.0), (20.0, 115.0), (40.0, 203.0), (60.0, 226.0), (80.0, 687.0), (100.0, 811.0)];
+        let paper = [
+            (0.0, 35.0),
+            (20.0, 115.0),
+            (40.0, 203.0),
+            (60.0, 226.0),
+            (80.0, 687.0),
+            (100.0, 811.0),
+        ];
         for (k, target) in paper {
             let est = cal.all_erased_estimate_us(k, 4096, headroom);
             let ratio = est / target;
@@ -419,12 +455,18 @@ mod tests {
             EraseCalibration::from_anchors(vec![]).unwrap_err(),
             CalibrationError::Empty
         );
-        let unsorted = vec![WearAnchor::new(10.0, 20.0, 0.1), WearAnchor::new(5.0, 30.0, 0.1)];
+        let unsorted = vec![
+            WearAnchor::new(10.0, 20.0, 0.1),
+            WearAnchor::new(5.0, 30.0, 0.1),
+        ];
         assert_eq!(
             EraseCalibration::from_anchors(unsorted).unwrap_err(),
             CalibrationError::UnsortedWear
         );
-        let decreasing = vec![WearAnchor::new(0.0, 30.0, 0.1), WearAnchor::new(10.0, 20.0, 0.1)];
+        let decreasing = vec![
+            WearAnchor::new(0.0, 30.0, 0.1),
+            WearAnchor::new(10.0, 20.0, 0.1),
+        ];
         assert_eq!(
             EraseCalibration::from_anchors(decreasing).unwrap_err(),
             CalibrationError::NonMonotoneMedian

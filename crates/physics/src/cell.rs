@@ -79,19 +79,27 @@ impl CellStatics {
             erase_z: cell_normal(chip_seed, cell_index, Channel::EraseSpeed),
             straggler_extra,
             early,
-            vth_erased0: params
-                .vth_erased
-                .at(cell_normal(chip_seed, cell_index, Channel::VthErased)),
-            vth_prog0: params
-                .vth_programmed
-                .at(cell_normal(chip_seed, cell_index, Channel::VthProgrammed)),
-            prog_time_us: params
-                .prog_full_time_us
-                .at(cell_normal(chip_seed, cell_index, Channel::ProgTime)),
+            vth_erased0: params.vth_erased.at(cell_normal(
+                chip_seed,
+                cell_index,
+                Channel::VthErased,
+            )),
+            vth_prog0: params.vth_programmed.at(cell_normal(
+                chip_seed,
+                cell_index,
+                Channel::VthProgrammed,
+            )),
+            prog_time_us: params.prog_full_time_us.at(cell_normal(
+                chip_seed,
+                cell_index,
+                Channel::ProgTime,
+            )),
             retention_z: cell_normal(chip_seed, cell_index, Channel::Retention),
-            susceptibility: params
-                .susceptibility
-                .at(cell_uniform(chip_seed, cell_index, Channel::Susceptibility)),
+            susceptibility: params.susceptibility.at(cell_uniform(
+                chip_seed,
+                cell_index,
+                Channel::Susceptibility,
+            )),
         }
     }
 }
@@ -111,7 +119,10 @@ impl CellState {
     /// A factory-fresh cell: erased, zero wear.
     #[must_use]
     pub fn fresh(statics: &CellStatics) -> Self {
-        Self { vth: statics.vth_erased0, wear_cycles: 0.0 }
+        Self {
+            vth: statics.vth_erased0,
+            wear_cycles: 0.0,
+        }
     }
 
     /// Wear expressed in kcycles (the unit the calibration tables use).
@@ -204,10 +215,11 @@ mod tests {
     fn wear_shifts_erased_level_up() {
         let (params, statics) = setup();
         let fresh = CellState::fresh(&statics);
-        let worn = CellState { vth: statics.vth_erased0, wear_cycles: 50_000.0 };
-        assert!(
-            worn.vth_erased_now(&params, &statics) > fresh.vth_erased_now(&params, &statics)
-        );
+        let worn = CellState {
+            vth: statics.vth_erased0,
+            wear_cycles: 50_000.0,
+        };
+        assert!(worn.vth_erased_now(&params, &statics) > fresh.vth_erased_now(&params, &statics));
     }
 
     #[test]
@@ -216,16 +228,24 @@ mod tests {
         let cell = CellState::fresh(&statics);
         let mut rng = SplitMix64::new(9);
         assert!((0..100).all(|_| sense(&params, &cell, &mut rng)));
-        let programmed = CellState { vth: statics.vth_prog0, wear_cycles: 0.0 };
+        let programmed = CellState {
+            vth: statics.vth_prog0,
+            wear_cycles: 0.0,
+        };
         assert!((0..100).all(|_| !sense(&params, &programmed, &mut rng)));
     }
 
     #[test]
     fn sense_is_noisy_at_the_boundary() {
         let (params, statics) = setup();
-        let boundary = CellState { vth: params.vref.get(), wear_cycles: 0.0 };
+        let boundary = CellState {
+            vth: params.vref.get(),
+            wear_cycles: 0.0,
+        };
         let mut rng = SplitMix64::new(10);
-        let ones = (0..1000).filter(|_| sense(&params, &boundary, &mut rng)).count();
+        let ones = (0..1000)
+            .filter(|_| sense(&params, &boundary, &mut rng))
+            .count();
         assert!((300..700).contains(&ones), "expected ~50% ones, got {ones}");
         let _ = statics;
     }
@@ -247,8 +267,14 @@ mod tests {
         }
         let sf = stragglers as f64 / n as f64;
         let ef = earlies as f64 / n as f64;
-        assert!((sf - params.tails.straggler_prob).abs() < 0.005, "straggler frac {sf}");
-        assert!((ef - params.tails.early_prob_cap).abs() < 0.01, "early frac {ef}");
+        assert!(
+            (sf - params.tails.straggler_prob).abs() < 0.005,
+            "straggler frac {sf}"
+        );
+        assert!(
+            (ef - params.tails.early_prob_cap).abs() < 0.01,
+            "early frac {ef}"
+        );
     }
 
     #[test]
@@ -256,7 +282,10 @@ mod tests {
         let (params, statics) = setup();
         let erased = CellState::fresh(&statics);
         assert!(erased.read_margin(&params).get() > 0.0);
-        let programmed = CellState { vth: statics.vth_prog0, wear_cycles: 0.0 };
+        let programmed = CellState {
+            vth: statics.vth_prog0,
+            wear_cycles: 0.0,
+        };
         assert!(programmed.read_margin(&params).get() < 0.0);
     }
 }

@@ -84,7 +84,11 @@ pub fn apply_erase(
 
     // Wear accrues in proportion to the fraction of a full erase performed.
     let fraction = (effective_us / t_full).min(1.0);
-    let weight = if was_programmed { params.wear.erase } else { params.wear.erase_only };
+    let weight = if was_programmed {
+        params.wear.erase
+    } else {
+        params.wear.erase_only
+    };
     state.wear_cycles += weight * fraction;
     state.vth = new_vth;
 
@@ -100,7 +104,9 @@ pub fn apply_erase(
 #[must_use]
 pub fn erase_temp_factor(params: &PhysicsParams, temp_c: f64) -> f64 {
     const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
-    if params.erase_activation_energy_ev == 0.0 {
+    // The activation energy is a disable-sentinel at (or below) zero; an
+    // epsilon band avoids an exact f64 comparison.
+    if params.erase_activation_energy_ev <= f64::EPSILON {
         return 1.0;
     }
     let t = temp_c + 273.15;
@@ -197,7 +203,10 @@ mod tests {
         let mut after = state0;
         apply_erase(&params, &statics, &mut after, t_cross * 1.05);
         assert!(after.vth < before.vth);
-        assert!(after.ideal_bit(&params), "cell should read 1 just after t_cross");
+        assert!(
+            after.ideal_bit(&params),
+            "cell should read 1 just after t_cross"
+        );
     }
 
     #[test]
@@ -214,7 +223,12 @@ mod tests {
 
         // vth path is piecewise linear in elapsed time, so splitting the pulse
         // must land within the wear-induced slope drift (tiny for 10 µs).
-        assert!((split.vth - whole.vth).abs() < 0.02, "{} vs {}", split.vth, whole.vth);
+        assert!(
+            (split.vth - whole.vth).abs() < 0.02,
+            "{} vs {}",
+            split.vth,
+            whole.vth
+        );
     }
 
     #[test]
@@ -241,7 +255,10 @@ mod tests {
         let params = PhysicsParams::msp430_like();
         let mut statics = CellStatics::derive(&params, 9, 7);
         statics.straggler_extra = None;
-        statics.early = Some(EarlyTrap { activation_kcycles: 30.0, factor: 0.5 });
+        statics.early = Some(EarlyTrap {
+            activation_kcycles: 30.0,
+            factor: 0.5,
+        });
         let before = t_cross_us(&params, &statics, 29_000.0);
         let after = t_cross_us(&params, &statics, 31_000.0);
         // Wear alone increases t_cross slightly; the trap halves it.
@@ -256,17 +273,21 @@ mod tests {
         base.early = None;
         let mut strag = base;
         strag.straggler_extra = Some(0.3);
-        assert!(
-            t_cross_us(&params, &strag, 0.0) > t_cross_us(&params, &base, 0.0)
-        );
+        assert!(t_cross_us(&params, &strag, 0.0) > t_cross_us(&params, &base, 0.0));
     }
 
     #[test]
     fn temp_factor_reference_and_direction() {
         let params = PhysicsParams::msp430_like();
         assert!((erase_temp_factor(&params, params.ref_temp_c) - 1.0).abs() < 1e-12);
-        assert!(erase_temp_factor(&params, 85.0) > 1.3, "hot die erases faster");
-        assert!(erase_temp_factor(&params, -20.0) < 0.8, "cold die erases slower");
+        assert!(
+            erase_temp_factor(&params, 85.0) > 1.3,
+            "hot die erases faster"
+        );
+        assert!(
+            erase_temp_factor(&params, -20.0) < 0.8,
+            "cold die erases slower"
+        );
         let mut no_temp = params.clone();
         no_temp.erase_activation_energy_ev = 0.0;
         assert_eq!(erase_temp_factor(&no_temp, 125.0), 1.0);

@@ -37,7 +37,10 @@ impl PulseNoise {
     /// A noise-free pulse (useful for deterministic analysis and tests).
     #[must_use]
     pub fn none() -> Self {
-        Self { common_factor: 1.0, seed: 0 }
+        Self {
+            common_factor: 1.0,
+            seed: 0,
+        }
     }
 
     /// Effective duration experienced by cell `cell_index` for a pulse of
@@ -123,7 +126,11 @@ mod tests {
         let mut rng = SplitMix64::new(80);
         for _ in 0..100 {
             let pn = PulseNoise::draw(&params, &mut rng);
-            assert!((0.8..1.25).contains(&pn.common_factor), "{}", pn.common_factor);
+            assert!(
+                (0.8..1.25).contains(&pn.common_factor),
+                "{}",
+                pn.common_factor
+            );
         }
     }
 }

@@ -24,7 +24,11 @@ pub struct WearWeights {
 
 impl Default for WearWeights {
     fn default() -> Self {
-        Self { program: 0.55, erase: 0.45, erase_only: 0.02 }
+        Self {
+            program: 0.55,
+            erase: 0.45,
+            erase_only: 0.02,
+        }
     }
 }
 
@@ -167,7 +171,9 @@ impl PhysicsParams {
     /// Starts building a custom parameter set from the MSP430 preset.
     #[must_use]
     pub fn builder() -> PhysicsParamsBuilder {
-        PhysicsParamsBuilder { params: Self::msp430_like() }
+        PhysicsParamsBuilder {
+            params: Self::msp430_like(),
+        }
     }
 
     /// Threshold-voltage level that separates the erased and programmed
@@ -189,7 +195,10 @@ impl PhysicsParams {
         if !ordered {
             return Err("vref must sit between the erased and programmed vth means".into());
         }
-        if self.read_noise_sigma < 0.0 || self.op_jitter_sigma < 0.0 || self.common_jitter_sigma < 0.0 {
+        if self.read_noise_sigma < 0.0
+            || self.op_jitter_sigma < 0.0
+            || self.common_jitter_sigma < 0.0
+        {
             return Err("noise sigmas must be non-negative".into());
         }
         if self.endurance_kcycles <= 0.0 {
@@ -197,7 +206,9 @@ impl PhysicsParams {
         }
         let max_shift = self.erased_vth_shift_per_kcycle * 2.0 * self.endurance_kcycles;
         if self.vth_erased.mean + max_shift >= self.vref.get() {
-            return Err("erased vth shift reaches vref within 2x endurance; cells would never erase".into());
+            return Err(
+                "erased vth shift reaches vref within 2x endurance; cells would never erase".into(),
+            );
         }
         if self.tails.early_factor_lo <= 0.0 || self.tails.early_factor_hi > 1.0 {
             return Err("early-eraser factors must lie in (0, 1]".into());

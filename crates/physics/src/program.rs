@@ -110,14 +110,23 @@ mod tests {
         apply_program(&params, &statics, &mut state, &mut rng);
         let w1 = state.wear_cycles;
         apply_program(&params, &statics, &mut state, &mut rng);
-        assert!(state.wear_cycles - w1 < 0.05, "rewear {}", state.wear_cycles - w1);
+        assert!(
+            state.wear_cycles - w1 < 0.05,
+            "rewear {}",
+            state.wear_cycles - w1
+        );
     }
 
     #[test]
     fn partial_program_short_pulse_stays_erased() {
         let (params, statics, mut state, mut rng) = setup(4);
-        let flipped =
-            apply_partial_program(&params, &statics, &mut state, statics.prog_time_us * 0.05, &mut rng);
+        let flipped = apply_partial_program(
+            &params,
+            &statics,
+            &mut state,
+            statics.prog_time_us * 0.05,
+            &mut rng,
+        );
         assert!(!flipped);
         assert!(state.ideal_bit(&params));
         assert!(state.vth > statics.vth_erased0, "vth should have moved up");
@@ -126,8 +135,13 @@ mod tests {
     #[test]
     fn partial_program_full_duration_equals_program() {
         let (params, statics, mut state, mut rng) = setup(5);
-        let flipped =
-            apply_partial_program(&params, &statics, &mut state, statics.prog_time_us * 2.0, &mut rng);
+        let flipped = apply_partial_program(
+            &params,
+            &statics,
+            &mut state,
+            statics.prog_time_us * 2.0,
+            &mut rng,
+        );
         assert!(flipped);
         assert!(!state.ideal_bit(&params));
     }
@@ -140,7 +154,10 @@ mod tests {
         for _ in 0..5 {
             crossed = apply_partial_program(&params, &statics, &mut state, step, &mut rng);
         }
-        assert!(crossed, "five 0.3x pulses must cumulatively program the cell");
+        assert!(
+            crossed,
+            "five 0.3x pulses must cumulatively program the cell"
+        );
     }
 
     #[test]

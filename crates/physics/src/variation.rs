@@ -24,7 +24,10 @@ impl Normal {
     /// Panics if `sigma` is negative or either parameter is non-finite.
     #[must_use]
     pub fn new(mean: f64, sigma: f64) -> Self {
-        assert!(mean.is_finite() && sigma.is_finite(), "non-finite parameter");
+        assert!(
+            mean.is_finite() && sigma.is_finite(),
+            "non-finite parameter"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         Self { mean, sigma }
     }
@@ -62,7 +65,10 @@ impl LogNormal {
     /// Panics if `median <= 0`, `sigma < 0`, or either is non-finite.
     #[must_use]
     pub fn new(median: f64, sigma: f64) -> Self {
-        assert!(median.is_finite() && sigma.is_finite(), "non-finite parameter");
+        assert!(
+            median.is_finite() && sigma.is_finite(),
+            "non-finite parameter"
+        );
         assert!(median > 0.0, "median must be positive");
         assert!(sigma >= 0.0, "sigma must be non-negative");
         Self { median, sigma }
@@ -136,7 +142,6 @@ pub fn expected_max_z(n: usize) -> f64 {
 /// Panics if `p` is outside `(0, 1)`.
 #[must_use]
 pub fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
     // Coefficients for Acklam's approximation.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -169,6 +174,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.02425;
 
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
@@ -199,8 +205,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

@@ -76,7 +76,10 @@ mod tests {
     fn counterfeit_classification() {
         assert!(!Provenance::GenuineAccept.is_counterfeit());
         assert!(Provenance::GenuineReject.is_counterfeit());
-        assert!(Provenance::Recycled { prior_cycles: 10_000 }.is_counterfeit());
+        assert!(Provenance::Recycled {
+            prior_cycles: 10_000
+        }
+        .is_counterfeit());
         assert!(Provenance::Clone.is_counterfeit());
         assert!(Provenance::Rebranded.is_counterfeit());
     }

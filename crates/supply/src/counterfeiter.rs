@@ -59,7 +59,8 @@ impl Attack for MetadataForge {
             .map_err(CoreError::Flash)?
             .unwrap_or_default();
         d.accepted = true;
-        d.write_to(chip.flash.info_mut(), seg).map_err(CoreError::Flash)?;
+        d.write_to(chip.flash.info_mut(), seg)
+            .map_err(CoreError::Flash)?;
         chip.package_marking = format!("{} (re-marked)", chip.package_marking);
         Ok(())
     }
@@ -104,8 +105,12 @@ impl Attack for StressPadding {
         // Stress all cells: wear accumulates on good cells too, turning
         // them "bad". (Already-bad cells just get worse.)
         let words = chip.flash.geometry().words_per_segment();
-        chip.flash
-            .bulk_imprint(seg, &vec![0u16; words], self.cycles, ImprintTiming::Accelerated)?;
+        chip.flash.bulk_imprint(
+            seg,
+            &vec![0u16; words],
+            self.cycles,
+            ImprintTiming::Accelerated,
+        )?;
         chip.flash.erase_segment(seg)?;
         Ok(())
     }
@@ -145,7 +150,12 @@ impl Attack for CloneData {
         let geometry = chip.flash.geometry();
         chip.flash.erase_segment(seg)?;
         let mut words = vec![0xFFFFu16; geometry.words_per_segment()];
-        for (i, &bit) in self.donor_bits.iter().enumerate().take(geometry.cells_per_segment()) {
+        for (i, &bit) in self
+            .donor_bits
+            .iter()
+            .enumerate()
+            .take(geometry.cells_per_segment())
+        {
             if !bit {
                 words[i / 16] &= !(1 << (i % 16));
             }
@@ -206,7 +216,8 @@ pub fn simulate_field_use(chip: &mut Chip, seg: SegmentAddr, cycles: u64) -> Res
     let words = chip.flash.geometry().words_per_segment();
     // Real usage writes varied data; for wear purposes a programmed-everywhere
     // pattern is the conservative model.
-    chip.flash.bulk_imprint(seg, &vec![0u16; words], cycles, ImprintTiming::Baseline)?;
+    chip.flash
+        .bulk_imprint(seg, &vec![0u16; words], cycles, ImprintTiming::Baseline)?;
     chip.flash.erase_segment(seg)?;
     Ok(())
 }
@@ -219,7 +230,11 @@ mod tests {
     use flashmark_msp430::Msp430Variant;
 
     fn setup() -> (Manufacturer, Verifier) {
-        let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
+        let config = FlashmarkConfig::builder()
+            .n_pe(80_000)
+            .replicas(7)
+            .build()
+            .unwrap();
         let m = Manufacturer::new(0x7C01, Msp430Variant::F5438, config.clone());
         let v = Verifier::new(config, 0x7C01);
         (m, v)
@@ -246,12 +261,20 @@ mod tests {
         let (mut m, v) = setup();
         let mut chip = m.produce(0xE2, TestStatus::Reject).unwrap();
         let words = chip.flash.geometry().words_per_segment();
-        EraseAndReprogram { pattern: vec![0xFFFFu16; words] }.apply(&mut chip).unwrap();
+        EraseAndReprogram {
+            pattern: vec![0xFFFFu16; words],
+        }
+        .apply(&mut chip)
+        .unwrap();
         let seg = chip.flash.watermark_segment();
         let report = v.verify(&mut chip.flash, seg).unwrap();
         // Extraction reprograms the segment anyway; the reject record is
         // still read out of the wear.
-        assert_ne!(report.verdict, Verdict::Genuine, "wear survived the reprogram");
+        assert_ne!(
+            report.verdict,
+            Verdict::Genuine,
+            "wear survived the reprogram"
+        );
     }
 
     #[test]

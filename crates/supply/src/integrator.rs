@@ -114,7 +114,11 @@ impl SystemIntegrator {
         }
 
         let watermark_ok = watermark.is_none_or(|v| v == Verdict::Genuine);
-        Ok(ChipAssessment { watermark, recycled, accepted: watermark_ok && !recycled })
+        Ok(ChipAssessment {
+            watermark,
+            recycled,
+            accepted: watermark_ok && !recycled,
+        })
     }
 }
 
@@ -127,7 +131,11 @@ mod tests {
     use flashmark_msp430::Msp430Variant;
 
     fn setup() -> (Manufacturer, SystemIntegrator) {
-        let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
+        let config = FlashmarkConfig::builder()
+            .n_pe(80_000)
+            .replicas(7)
+            .build()
+            .unwrap();
         let m = Manufacturer::new(0x7C01, Msp430Variant::F5438, config.clone());
         let i = SystemIntegrator::new(config, 0x7C01).unwrap();
         (m, i)
@@ -152,7 +160,9 @@ mod tests {
         for seg in (0..128).step_by(4) {
             simulate_field_use(&mut chip, SegmentAddr::new(seg), 40_000).unwrap();
         }
-        chip.provenance = crate::chip::Provenance::Recycled { prior_cycles: 40_000 };
+        chip.provenance = crate::chip::Provenance::Recycled {
+            prior_cycles: 40_000,
+        };
         let a = i.inspect(&mut chip).unwrap();
         assert!(a.recycled, "prior-use wear must be visible");
         assert!(!a.accepted);

@@ -24,7 +24,13 @@ impl Manufacturer {
     /// Creates a manufacturer with the given public ID.
     #[must_use]
     pub fn new(id: u16, variant: Msp430Variant, config: FlashmarkConfig) -> Self {
-        Self { id, variant, config, next_die: 1, lot_id: 0x00A1_0001 }
+        Self {
+            id,
+            variant,
+            config,
+            next_die: 1,
+            lot_id: 0x00A1_0001,
+        }
     }
 
     /// The manufacturer's public ID (what integrators verify against).
@@ -92,7 +98,11 @@ mod tests {
     use flashmark_msp430::DeviceDescriptor;
 
     fn manufacturer() -> Manufacturer {
-        let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
+        let config = FlashmarkConfig::builder()
+            .n_pe(80_000)
+            .replicas(7)
+            .build()
+            .unwrap();
         Manufacturer::new(0x7C01, Msp430Variant::F5438, config)
     }
 

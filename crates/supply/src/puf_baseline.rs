@@ -63,7 +63,11 @@ impl PufFingerprint {
     /// Panics if the lengths differ.
     #[must_use]
     pub fn distance(&self, other: &Self) -> f64 {
-        assert_eq!(self.bits.len(), other.bits.len(), "fingerprint lengths differ");
+        assert_eq!(
+            self.bits.len(),
+            other.bits.len(),
+            "fingerprint lengths differ"
+        );
         let mut compared = 0usize;
         let mut differing = 0usize;
         for i in 0..self.bits.len() {
@@ -155,7 +159,10 @@ impl PufDatabase {
     /// Storage burden in bytes (one response bit per cell per die).
     #[must_use]
     pub fn storage_bytes(&self) -> usize {
-        self.entries.iter().map(|(_, fp)| fp.bits.len() / 8 + 8).sum()
+        self.entries
+            .iter()
+            .map(|(_, fp)| fp.bits.len() / 8 + 8)
+            .sum()
     }
 
     /// Finds the closest enrollment under `threshold` fractional distance.
@@ -163,9 +170,12 @@ impl PufDatabase {
     pub fn identify(&self, fingerprint: &PufFingerprint, threshold: f64) -> Option<PufMatch> {
         self.entries
             .iter()
-            .map(|(die, fp)| PufMatch { die_id: *die, distance: fp.distance(fingerprint) })
+            .map(|(die, fp)| PufMatch {
+                die_id: *die,
+                distance: fp.distance(fingerprint),
+            })
             .filter(|m| m.distance <= threshold)
-            .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("distances are finite"))
+            .min_by(|a, b| a.distance.total_cmp(&b.distance))
     }
 }
 
@@ -189,15 +199,27 @@ mod tests {
         let mut chip = Msp430Flash::f5438(0x9F1);
         let a = extract_fingerprint(&mut chip, SegmentAddr::new(SEG), T_CHALLENGE, ROUNDS).unwrap();
         let b = extract_fingerprint(&mut chip, SegmentAddr::new(SEG), T_CHALLENGE, ROUNDS).unwrap();
-        assert!(a.distance(&b) < 0.10, "intra-chip distance {}", a.distance(&b));
-        assert!(a.stable_fraction() > 0.3, "stable fraction {}", a.stable_fraction());
+        assert!(
+            a.distance(&b) < 0.10,
+            "intra-chip distance {}",
+            a.distance(&b)
+        );
+        assert!(
+            a.stable_fraction() > 0.3,
+            "stable fraction {}",
+            a.stable_fraction()
+        );
     }
 
     #[test]
     fn different_chips_have_distant_fingerprints() {
         let a = fingerprint_of(0x9F2);
         let b = fingerprint_of(0x9F3);
-        assert!(a.distance(&b) > 0.25, "inter-chip distance {}", a.distance(&b));
+        assert!(
+            a.distance(&b) > 0.25,
+            "inter-chip distance {}",
+            a.distance(&b)
+        );
     }
 
     #[test]
@@ -234,8 +256,13 @@ mod tests {
 
         // First life wears OTHER segments heavily; the PUF segment is kept
         // fresh (as a real deployment would).
-        chip.bulk_imprint(SegmentAddr::new(8), &vec![0u16; 256], 40_000, ImprintTiming::Baseline)
-            .unwrap();
+        chip.bulk_imprint(
+            SegmentAddr::new(8),
+            &vec![0u16; 256],
+            40_000,
+            ImprintTiming::Baseline,
+        )
+        .unwrap();
         let after_use =
             extract_fingerprint(&mut chip, SegmentAddr::new(SEG), T_CHALLENGE, ROUNDS).unwrap();
         let m = db.identify(&after_use, 0.12);

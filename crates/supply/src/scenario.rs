@@ -1,8 +1,8 @@
 //! End-to-end supply-chain scenarios: mixed populations through inspection.
 
 use flashmark_core::{CoreError, FlashmarkConfig, TestStatus};
-use flashmark_nor::interface::FlashInterface;
 use flashmark_msp430::Msp430Variant;
+use flashmark_nor::interface::FlashInterface;
 use flashmark_nor::SegmentAddr;
 use flashmark_physics::rng::SplitMix64;
 
@@ -122,9 +122,15 @@ impl SupplyChainScenario {
             // A realistic first life: wear spread over a wide region (the
             // integrator's sampled probes do not know where to look).
             for seg in (0..256u32).step_by(8) {
-                simulate_field_use(&mut chip, SegmentAddr::new(seg), self.config.recycled_use_cycles)?;
+                simulate_field_use(
+                    &mut chip,
+                    SegmentAddr::new(seg),
+                    self.config.recycled_use_cycles,
+                )?;
             }
-            chip.provenance = Provenance::Recycled { prior_cycles: self.config.recycled_use_cycles };
+            chip.provenance = Provenance::Recycled {
+                prior_cycles: self.config.recycled_use_cycles,
+            };
             // The counterfeiter wipes the user data before resale.
             EraseAndReprogram {
                 pattern: vec![0xFFFF; chip.flash.geometry().words_per_segment()],
@@ -138,10 +144,12 @@ impl SupplyChainScenario {
             let mut donor = manufacturer.produce(self.seed(), TestStatus::Accept)?;
             let donor_bits = CloneData::harvest(&mut donor, 3)?;
             for _ in 0..self.config.clones {
-                let mut chip =
-                    Chip::fresh(Msp430Variant::F5438, self.seed(), Provenance::Clone);
-                CloneData { config: self.config.flashmark.clone(), donor_bits: donor_bits.clone() }
-                    .apply(&mut chip)?;
+                let mut chip = Chip::fresh(Msp430Variant::F5438, self.seed(), Provenance::Clone);
+                CloneData {
+                    config: self.config.flashmark.clone(),
+                    donor_bits: donor_bits.clone(),
+                }
+                .apply(&mut chip)?;
                 population.push((chip, "clone"));
             }
         }
@@ -171,15 +179,25 @@ mod tests {
         let mut s = SupplyChainScenario::new(ScenarioConfig::small(0xBEEF));
         let stats = s.run().unwrap();
         assert_eq!(stats.total(), 8);
-        assert_eq!(stats.false_positives(), 0, "genuine chips must pass\n{stats}");
-        assert_eq!(stats.false_negatives(), 0, "all counterfeits must be caught\n{stats}");
+        assert_eq!(
+            stats.false_positives(),
+            0,
+            "genuine chips must pass\n{stats}"
+        );
+        assert_eq!(
+            stats.false_negatives(),
+            0,
+            "all counterfeits must be caught\n{stats}"
+        );
         assert_eq!(stats.detection_rate(), 1.0);
     }
 
     #[test]
     fn different_seeds_different_chips_same_outcome() {
         for seed in [1u64, 2, 3] {
-            let stats = SupplyChainScenario::new(ScenarioConfig::small(seed)).run().unwrap();
+            let stats = SupplyChainScenario::new(ScenarioConfig::small(seed))
+                .run()
+                .unwrap();
             assert_eq!(stats.false_negatives(), 0, "seed {seed}:\n{stats}");
         }
     }

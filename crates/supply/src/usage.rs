@@ -51,13 +51,24 @@ impl UsageProfile {
     #[must_use]
     pub fn wear_map(&self) -> Vec<(SegmentAddr, u64)> {
         match *self {
-            Self::DataLogger { log_start, log_segments, cycles } => (0..log_segments)
+            Self::DataLogger {
+                log_start,
+                log_segments,
+                cycles,
+            } => (0..log_segments)
                 .map(|i| (SegmentAddr::new(log_start + i), cycles))
                 .collect(),
-            Self::FirmwareUpdates { code_segments, updates } => {
-                (0..code_segments).map(|i| (SegmentAddr::new(i), updates)).collect()
-            }
-            Self::CircularBuffer { ring_start, ring_segments, total_erases } => {
+            Self::FirmwareUpdates {
+                code_segments,
+                updates,
+            } => (0..code_segments)
+                .map(|i| (SegmentAddr::new(i), updates))
+                .collect(),
+            Self::CircularBuffer {
+                ring_start,
+                ring_segments,
+                total_erases,
+            } => {
                 let per = total_erases / u64::from(ring_segments.max(1));
                 (0..ring_segments)
                     .map(|i| (SegmentAddr::new(ring_start + i), per))
@@ -113,21 +124,36 @@ mod tests {
 
     #[test]
     fn wear_maps_cover_expected_segments() {
-        let logger = UsageProfile::DataLogger { log_start: 10, log_segments: 3, cycles: 40_000 };
+        let logger = UsageProfile::DataLogger {
+            log_start: 10,
+            log_segments: 3,
+            cycles: 40_000,
+        };
         assert_eq!(logger.wear_map().len(), 3);
         assert_eq!(logger.peak_cycles(), 40_000);
 
-        let fw = UsageProfile::FirmwareUpdates { code_segments: 8, updates: 20 };
+        let fw = UsageProfile::FirmwareUpdates {
+            code_segments: 8,
+            updates: 20,
+        };
         assert_eq!(fw.peak_cycles(), 20);
 
-        let ring = UsageProfile::CircularBuffer { ring_start: 0, ring_segments: 4, total_erases: 40_000 };
+        let ring = UsageProfile::CircularBuffer {
+            ring_start: 0,
+            ring_segments: 4,
+            total_erases: 40_000,
+        };
         assert_eq!(ring.peak_cycles(), 10_000);
     }
 
     #[test]
     fn first_life_wears_the_profiled_segments() {
         let mut chip = Chip::fresh(Msp430Variant::F5438, 0x11FE, Provenance::GenuineAccept);
-        let profile = UsageProfile::DataLogger { log_start: 5, log_segments: 2, cycles: 20_000 };
+        let profile = UsageProfile::DataLogger {
+            log_start: 5,
+            log_segments: 2,
+            cycles: 20_000,
+        };
         live_first_life(&mut chip, &profile).unwrap();
         let worn = chip.flash.main_mut().wear_stats(SegmentAddr::new(5));
         assert!(worn.mean_cycles > 19_000.0);
@@ -146,7 +172,13 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        assert_eq!(sampled_probe_segments(512, 4, 7), sampled_probe_segments(512, 4, 7));
-        assert_ne!(sampled_probe_segments(512, 4, 7), sampled_probe_segments(512, 4, 8));
+        assert_eq!(
+            sampled_probe_segments(512, 4, 7),
+            sampled_probe_segments(512, 4, 7)
+        );
+        assert_ne!(
+            sampled_probe_segments(512, 4, 7),
+            sampled_probe_segments(512, 4, 8)
+        );
     }
 }

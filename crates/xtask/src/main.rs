@@ -1,0 +1,94 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! Currently one task: `lint`, the flash-protocol static lint pass. It
+//! needs no dependencies beyond std and no rustc internals — it walks the
+//! workspace sources and applies the rules in [`lint`].
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`\nusage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root (this crate lives at `<root>/crates/xtask`).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs_files(&entry.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(rules) = lint::rules_for(&rel) else {
+            continue;
+        };
+        let Ok(source) = std::fs::read_to_string(file) else {
+            eprintln!("xtask lint: cannot read {rel}");
+            return ExitCode::FAILURE;
+        };
+        checked += 1;
+        findings.extend(lint::lint_source(&rel, &source, rules));
+    }
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {checked} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} finding(s) in {checked} files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (missing dirs are fine).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("tPE (µs)   fresh cells_0   50K cells_0");
     for (f, w) in fresh.points.iter().zip(&worn.points) {
-        println!("{:>7.0}   {:>13}   {:>11}", f.t_pe.get(), f.cells_0, w.cells_0);
+        println!(
+            "{:>7.0}   {:>13}   {:>11}",
+            f.t_pe.get(),
+            f.cells_0,
+            w.cells_0
+        );
     }
 
     println!(
@@ -35,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fresh.onset_time(),
         fresh.all_erased_time()
     );
-    println!("50K segment:  all erased by {:?} (often beyond this sweep)", worn.all_erased_time());
+    println!(
+        "50K segment:  all erased by {:?} (often beyond this sweep)",
+        worn.all_erased_time()
+    );
 
     // Pick the published extraction window.
     let window = select_t_pew(&fresh, &worn, 100)?;

@@ -27,6 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.false_positives(),
         stats.false_negatives()
     );
-    assert_eq!(stats.false_negatives(), 0, "every counterfeit pathway must be caught");
+    assert_eq!(
+        stats.false_negatives(),
+        0,
+        "every counterfeit pathway must be caught"
+    );
     Ok(())
 }

@@ -17,7 +17,10 @@ use flashmark::supply::Manufacturer;
 const TRUSTED_MFG: u16 = 0x7C01;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build()?;
+    let config = FlashmarkConfig::builder()
+        .n_pe(80_000)
+        .replicas(7)
+        .build()?;
     let mut fab = Manufacturer::new(TRUSTED_MFG, Msp430Variant::F5438, config.clone());
 
     // Die sort: one die passes, one fails.
@@ -32,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Incoming inspection at the integrator.
     let verifier = Verifier::new(config, TRUSTED_MFG);
-    for (name, chip) in [("good chip", &mut good_chip), ("laundered reject", &mut bad_chip)] {
+    for (name, chip) in [
+        ("good chip", &mut good_chip),
+        ("laundered reject", &mut bad_chip),
+    ] {
         let seg = chip.flash.watermark_segment();
         let report = verifier.verify(&mut chip.flash, seg)?;
         match report.verdict {

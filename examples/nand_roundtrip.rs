@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small-block SLC NAND chip behind the word/segment adapter: one NAND
     // *block* plays the role of a Flashmark *segment*.
     let chip = NandChip::new(NandGeometry::tiny(), 0x0AD0);
-    println!("device: {} ({} cells per block)", chip.geometry(), chip.geometry().cells_per_block());
+    println!(
+        "device: {} ({} cells per block)",
+        chip.geometry(),
+        chip.geometry().cells_per_block()
+    );
     let mut flash = NandWordAdapter::new(chip);
 
     let config = FlashmarkConfig::builder()
@@ -42,6 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         extraction.ber_against(&wm) * 100.0
     );
     assert_eq!(extraction.bits(), wm.bits());
-    println!("identical Imprinter/Extractor code drove NOR and NAND — FlashInterface abstracts the part");
+    println!(
+        "identical Imprinter/Extractor code drove NOR and NAND — FlashInterface abstracts the part"
+    );
     Ok(())
 }

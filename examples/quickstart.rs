@@ -7,6 +7,7 @@
 
 use flashmark::core::{Extractor, FlashmarkConfig, Imprinter, Watermark};
 use flashmark::msp430::Msp430Flash;
+use flashmark::nor::interface::FlashInterface;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A simulated MSP430F5438; the seed is the chip's identity (process
@@ -16,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The manufacturer's operating point: 70 K stress cycles, 7 replicas,
     // accelerated imprint schedule.
-    let config = FlashmarkConfig::builder().n_pe(70_000).replicas(7).build()?;
+    let config = FlashmarkConfig::builder()
+        .n_pe(70_000)
+        .replicas(7)
+        .build()?;
 
     // Imprint "TC" — the paper's example watermark (Fig. 6).
     let watermark = Watermark::from_ascii("TC")?;
@@ -39,11 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         extraction.ber_against(&watermark) * 100.0,
         extraction.unanimous_fraction() * 100.0
     );
-    assert_eq!(recovered, watermark, "watermark must survive the round trip");
+    assert_eq!(
+        recovered, watermark,
+        "watermark must survive the round trip"
+    );
 
     // The watermark lives in irreversible wear: erasing and rewriting the
     // segment does not remove it.
-    use flashmark::nor::interface::FlashInterface;
     chip.erase_segment(seg)?;
     let again = Extractor::new(&config).extract(&mut chip, seg, watermark.len())?;
     assert_eq!(again.to_watermark()?, watermark);

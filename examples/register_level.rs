@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     flash.write_register(Fctl::Fctl3, FWKEY)?;
     flash.write_register(Fctl::Fctl1, FWKEY | WRT)?;
     flash.write_word(WordAddr::new(0), 0x5443)?; // "TC"
-    println!("programmed word 0 = {:#06x}", flash.read_word(WordAddr::new(0))?);
+    println!(
+        "programmed word 0 = {:#06x}",
+        flash.read_word(WordAddr::new(0))?
+    );
 
     // Fill the segment, then run a partial erase via ERASE + emergency exit.
     for w in 0..256 {

@@ -14,6 +14,8 @@
 //!   verify.
 //! * [`ecc`] — replication/majority voting, Hamming codes, CRC signatures.
 //! * [`supply`] — supply-chain scenarios and counterfeiter attack models.
+//! * [`sanitizer`] — flash-protocol runtime sanitizer: wraps any flash
+//!   interface and reports invariant violations with event backtraces.
 //!
 //! # Quickstart
 //!
@@ -49,4 +51,5 @@ pub use flashmark_msp430 as msp430;
 pub use flashmark_nand as nand;
 pub use flashmark_nor as nor;
 pub use flashmark_physics as physics;
+pub use flashmark_sanitizer as sanitizer;
 pub use flashmark_supply as supply;

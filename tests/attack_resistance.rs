@@ -1,11 +1,13 @@
 //! Adversarial integration tests: every capability a counterfeiter has,
 //! and why each fails against the wear watermark.
 
-use flashmark::core::{FlashmarkConfig, TestStatus, Verdict, Verifier, CounterfeitReason};
+use flashmark::core::{CounterfeitReason, FlashmarkConfig, TestStatus, Verdict, Verifier};
 use flashmark::msp430::Msp430Variant;
 use flashmark::nor::interface::{BulkStress, FlashInterface, FlashInterfaceExt, ImprintTiming};
 use flashmark::physics::Micros;
-use flashmark::supply::counterfeiter::{Attack, CloneData, EraseAndReprogram, MetadataForge, StressPadding};
+use flashmark::supply::counterfeiter::{
+    Attack, CloneData, EraseAndReprogram, MetadataForge, StressPadding,
+};
 use flashmark::supply::{Chip, Manufacturer, Provenance};
 
 const MFG: u16 = 0x7C01;
@@ -43,7 +45,12 @@ fn wear_is_monotone_under_any_attack() {
         chip.flash.program_all_zero(seg).unwrap();
     }
     chip.flash
-        .bulk_imprint(seg, &vec![0xFFFFu16; 256], 10_000, ImprintTiming::Accelerated)
+        .bulk_imprint(
+            seg,
+            &vec![0xFFFFu16; 256],
+            10_000,
+            ImprintTiming::Accelerated,
+        )
         .unwrap();
 
     let after = chip.flash.main_mut().wear_stats(seg);
@@ -64,7 +71,11 @@ fn reject_cannot_become_accept_by_rewriting_data() {
         status: TestStatus::Accept,
         year_week: 2004,
     };
-    let cfg = FlashmarkConfig::builder().n_pe(1).replicas(7).build().unwrap();
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(1)
+        .replicas(7)
+        .build()
+        .unwrap();
     let pattern = flashmark::core::Imprinter::new(&cfg)
         .pattern(&chip.flash, &forged.to_watermark())
         .unwrap();
@@ -106,8 +117,17 @@ fn cloned_data_on_fresh_silicon_has_no_wear() {
     let bits = CloneData::harvest(&mut donor, 3).unwrap();
 
     let mut clone = Chip::fresh(Msp430Variant::F5438, 0xFA4E, Provenance::Clone);
-    let cfg = FlashmarkConfig::builder().n_pe(80_000).replicas(7).build().unwrap();
-    CloneData { config: cfg, donor_bits: bits }.apply(&mut clone).unwrap();
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(80_000)
+        .replicas(7)
+        .build()
+        .unwrap();
+    CloneData {
+        config: cfg,
+        donor_bits: bits,
+    }
+    .apply(&mut clone)
+    .unwrap();
 
     assert_eq!(
         verdict(&verifier, &mut clone),
@@ -159,7 +179,10 @@ fn targeted_bit_stress_cannot_flip_reject_to_accept() {
         status: TestStatus::Reject,
         year_week: 2004,
     };
-    let forged = flashmark::core::WatermarkRecord { status: TestStatus::Accept, ..real };
+    let forged = flashmark::core::WatermarkRecord {
+        status: TestStatus::Accept,
+        ..real
+    };
     let real_bits = real.to_watermark();
     let forged_bits = forged.to_watermark();
     let achievable: Vec<usize> = real_bits
@@ -172,9 +195,13 @@ fn targeted_bit_stress_cannot_flip_reject_to_accept() {
         .collect();
     assert!(!achievable.is_empty());
 
-    TargetedBitStress { bit_positions: achievable, replicas: 7, cycles: 80_000 }
-        .apply(&mut chip)
-        .unwrap();
+    TargetedBitStress {
+        bit_positions: achievable,
+        replicas: 7,
+        cycles: 80_000,
+    }
+    .apply(&mut chip)
+    .unwrap();
     match verdict(&verifier, &mut chip) {
         Verdict::Genuine => panic!("targeted stress forged an accept record"),
         Verdict::Counterfeit(_) => {}
@@ -197,8 +224,12 @@ fn forging_reject_records_by_one_way_flips_never_validates() {
         year_week: 2004,
     };
     let base = real.to_watermark().bits().to_vec();
-    let one_positions: Vec<usize> =
-        base.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+    let one_positions: Vec<usize> = base
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i)
+        .collect();
 
     let mut rng = SplitMix64::new(0xF0496);
     let mut validated_as_accept = 0;
@@ -217,7 +248,10 @@ fn forging_reject_records_by_one_way_flips_never_validates() {
             }
         }
     }
-    assert_eq!(validated_as_accept, 0, "a one-way forgery validated as accept");
+    assert_eq!(
+        validated_as_accept, 0,
+        "a one-way forgery validated as accept"
+    );
 }
 
 #[test]
@@ -230,7 +264,11 @@ fn recycled_chips_detected_across_usage_profiles() {
 
     // Wide wear (a wear-leveled ring over 1/8 of the device): random probe
     // sampling finds it reliably.
-    let ring = UsageProfile::CircularBuffer { ring_start: 0, ring_segments: 64, total_erases: 640_000 };
+    let ring = UsageProfile::CircularBuffer {
+        ring_start: 0,
+        ring_segments: 64,
+        total_erases: 640_000,
+    };
     let mut chip = fab.produce(0xB0, TestStatus::Accept).unwrap();
     live_first_life(&mut chip, &ring).unwrap();
     let probes = sampled_probe_segments(chip.flash.geometry().total_segments() - 1, 24, 99);
@@ -246,13 +284,23 @@ fn recycled_chips_detected_across_usage_profiles() {
     // Narrow wear (a 4-segment log region): the detector sees it *when a
     // probe lands there* — probe placement, not sensitivity, is the
     // limitation for narrowly-worn recycled chips.
-    let logger = UsageProfile::DataLogger { log_start: 16, log_segments: 4, cycles: 40_000 };
+    let logger = UsageProfile::DataLogger {
+        log_start: 16,
+        log_segments: 4,
+        cycles: 40_000,
+    };
     let mut chip = fab.produce(0xB1, TestStatus::Accept).unwrap();
     live_first_life(&mut chip, &logger).unwrap();
-    use flashmark::nor::SegmentAddr as Seg;
-    let on_target = det.classify(&mut chip.flash, Seg::new(17)).unwrap();
-    assert_eq!(on_target.verdict, flashmark::core::SegmentCondition::Stressed);
-    let off_target = det.classify(&mut chip.flash, Seg::new(300)).unwrap();
+    let on_target = det
+        .classify(&mut chip.flash, flashmark::nor::SegmentAddr::new(17))
+        .unwrap();
+    assert_eq!(
+        on_target.verdict,
+        flashmark::core::SegmentCondition::Stressed
+    );
+    let off_target = det
+        .classify(&mut chip.flash, flashmark::nor::SegmentAddr::new(300))
+        .unwrap();
     assert_eq!(off_target.verdict, flashmark::core::SegmentCondition::Fresh);
 }
 
@@ -268,7 +316,7 @@ fn balanced_encoding_flags_stress_attacks() {
     let mut attacked = wm.bits().to_vec();
     let n_flip = attacked.len() / 6;
     let mut flipped = 0;
-    for b in attacked.iter_mut() {
+    for b in &mut attacked {
         if *b && flipped < n_flip {
             *b = false;
             flipped += 1;

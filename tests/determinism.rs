@@ -8,7 +8,11 @@ use flashmark::supply::{ScenarioConfig, SupplyChainScenario};
 fn pipeline(seed: u64) -> Vec<bool> {
     let mut chip = Msp430Flash::f5438(seed);
     let seg = chip.watermark_segment();
-    let cfg = FlashmarkConfig::builder().n_pe(40_000).replicas(3).build().unwrap();
+    let cfg = FlashmarkConfig::builder()
+        .n_pe(40_000)
+        .replicas(3)
+        .build()
+        .unwrap();
     let wm = Watermark::from_ascii("DETERMINISM").unwrap();
     Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
     Extractor::new(&cfg)
@@ -35,8 +39,12 @@ fn different_seed_different_raw_channel_noise() {
 
 #[test]
 fn scenario_statistics_are_reproducible() {
-    let s1 = SupplyChainScenario::new(ScenarioConfig::small(0x5EED)).run().unwrap();
-    let s2 = SupplyChainScenario::new(ScenarioConfig::small(0x5EED)).run().unwrap();
+    let s1 = SupplyChainScenario::new(ScenarioConfig::small(0x5EED))
+        .run()
+        .unwrap();
+    let s2 = SupplyChainScenario::new(ScenarioConfig::small(0x5EED))
+        .run()
+        .unwrap();
     assert_eq!(format!("{s1}"), format!("{s2}"));
 }
 
@@ -47,9 +55,16 @@ fn experiments_are_reproducible() {
     let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(40.0), Micros::new(10.0)).unwrap();
     let run = || {
         let mut chip = Msp430Flash::f5438(0x4E9);
-        let cfg = FlashmarkConfig::builder().n_pe(20_000).replicas(1).reads(1).build().unwrap();
+        let cfg = FlashmarkConfig::builder()
+            .n_pe(20_000)
+            .replicas(1)
+            .reads(1)
+            .build()
+            .unwrap();
         let wm = Watermark::from_bits(vec![false; 256]).unwrap();
-        Imprinter::new(&cfg).imprint(&mut chip, SegmentAddr::new(0), &wm).unwrap();
+        Imprinter::new(&cfg)
+            .imprint(&mut chip, SegmentAddr::new(0), &wm)
+            .unwrap();
         sweep
             .times()
             .iter()

@@ -27,7 +27,9 @@ fn imprint_extract_roundtrip_on_msp430() {
     let cfg = config();
     let wm = Watermark::from_ascii("FLASHMARK-DAC20").unwrap();
     Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
-    let e = Extractor::new(&cfg).extract(&mut chip, seg, wm.len()).unwrap();
+    let e = Extractor::new(&cfg)
+        .extract(&mut chip, seg, wm.len())
+        .unwrap();
     assert_eq!(e.bits(), wm.bits());
 }
 
@@ -39,7 +41,9 @@ fn roundtrip_works_on_both_device_variants() {
         let cfg = config();
         let wm = Watermark::from_ascii("V").unwrap();
         Imprinter::new(&cfg).imprint(&mut chip, seg, &wm).unwrap();
-        let e = Extractor::new(&cfg).extract(&mut chip, seg, wm.len()).unwrap();
+        let e = Extractor::new(&cfg)
+            .extract(&mut chip, seg, wm.len())
+            .unwrap();
         assert_eq!(e.bits(), wm.bits(), "variant {variant:?}");
     }
 }
@@ -72,7 +76,9 @@ fn watermark_survives_decade_of_storage() {
     chip.main_mut().array_mut().bake(10.0 * 8760.0, 25.0);
     chip.main_mut().array_mut().bake(1000.0, 85.0);
 
-    let e = Extractor::new(&cfg).extract(&mut chip, seg, wm.len()).unwrap();
+    let e = Extractor::new(&cfg)
+        .extract(&mut chip, seg, wm.len())
+        .unwrap();
     assert_eq!(e.bits(), wm.bits());
 }
 
@@ -87,7 +93,11 @@ fn extraction_does_not_need_the_content() {
     let seg = chip.flash.watermark_segment();
 
     let e = Extractor::new(&cfg)
-        .extract(&mut chip.flash, seg, flashmark::core::watermark::RECORD_BITS)
+        .extract(
+            &mut chip.flash,
+            seg,
+            flashmark::core::watermark::RECORD_BITS,
+        )
         .unwrap();
     let blind = WatermarkRecord::from_watermark(&e.to_watermark().unwrap());
     let expected = WatermarkRecord {
@@ -101,7 +111,9 @@ fn extraction_does_not_need_the_content() {
         assert_eq!(r, expected, "blind extraction decoded a different record");
     }
 
-    let report = Verifier::new(cfg, 0x7C01).verify(&mut chip.flash, seg).unwrap();
+    let report = Verifier::new(cfg, 0x7C01)
+        .verify(&mut chip.flash, seg)
+        .unwrap();
     assert_eq!(report.record, Some(expected));
 }
 
@@ -120,7 +132,9 @@ fn integrator_accepts_genuine_across_seeds() {
 #[test]
 fn scenario_outcomes_are_stable_across_seeds() {
     for seed in [0x11u64, 0x22, 0x33, 0x44] {
-        let stats = SupplyChainScenario::new(ScenarioConfig::small(seed)).run().unwrap();
+        let stats = SupplyChainScenario::new(ScenarioConfig::small(seed))
+            .run()
+            .unwrap();
         assert_eq!(stats.false_negatives(), 0, "seed {seed:#x}: {stats}");
         assert_eq!(stats.false_positives(), 0, "seed {seed:#x}: {stats}");
     }
