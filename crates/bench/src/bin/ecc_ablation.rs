@@ -5,11 +5,17 @@
 use flashmark_bench::experiments::{ecc_ablation, read_majority_ablation};
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::SweepSpec;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::Micros;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = threads_from_env_args()?;
     eprintln!("ecc_ablation: replication vs hamming at 50K ...");
-    let data = ecc_ablation(0xECC, 50.0, Micros::new(30.0))?;
+    let data = ecc_ablation(
+        &TrialRunner::with_threads(0xECC, threads),
+        50.0,
+        Micros::new(30.0),
+    )?;
     let mut table = Table::new(["scheme", "channel bits", "post-decode BER %", "clean?"]);
     for (name, bits, ber, ok) in &data.rows {
         table.row([
@@ -24,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!("read-majority ablation at 40K ...");
     let sweep = SweepSpec::new(Micros::new(24.0), Micros::new(44.0), Micros::new(2.0))?;
-    let rm = read_majority_ablation(0xECC2, 40.0, &sweep, &[1, 3, 5])?;
+    let rm = read_majority_ablation(
+        &TrialRunner::with_threads(0xECC2, threads),
+        40.0,
+        &sweep,
+        &[1, 3, 5],
+    )?;
     let mut table = Table::new(["reads (N)", "min single-copy BER %"]);
     for &(n, ber) in &rm.rows {
         table.row([n.to_string(), format!("{:.2}", ber * 100.0)]);

@@ -2,11 +2,16 @@
 //! samples are used and we find that flash memories within the same family
 //! show consistent behavior". We characterize several simulated chips of
 //! the family and derive the publishable extraction recipe.
+//!
+//! Each sample chip's characterization is one independent trial; the
+//! fused recipe is computed from the per-chip windows in chip order, so
+//! the derived recipe is identical at any `--threads N`.
 
 use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
-use flashmark_core::{derive_recipe, SweepSpec};
+use flashmark_core::{characterize_sample, fuse_windows, SweepSpec};
 use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::{Micros, PhysicsParams};
 
 #[derive(Debug)]
@@ -25,31 +30,35 @@ impl_to_json!(FamilyReport {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const CHIPS: u64 = 6;
-    eprintln!("family_consistency: characterizing {CHIPS} sample chips ...");
+    let runner = TrialRunner::with_threads(0xFA31, threads_from_env_args()?);
+    eprintln!(
+        "family_consistency: characterizing {CHIPS} sample chips on {} thread(s) ...",
+        runner.threads()
+    );
     let seeds: Vec<u64> = (0..CHIPS).map(|i| 0xFA31 + i * 7).collect();
-    let mut chips: Vec<FlashController> = seeds
-        .iter()
-        .map(|&s| {
-            FlashController::new(
-                PhysicsParams::msp430_like(),
-                FlashGeometry::single_bank(4),
-                FlashTimings::msp430(),
-                s,
-            )
-        })
-        .collect();
-
     let sweep = SweepSpec::new(Micros::new(14.0), Micros::new(50.0), Micros::new(2.0))?;
-    let fam = derive_recipe(
-        &mut chips,
-        SegmentAddr::new(0),
-        SegmentAddr::new(1),
-        50.0,
-        &sweep,
-        260,
-        7,
-        3,
-    )?;
+
+    let windows = runner.run(seeds.len(), |trial| {
+        // Chip seeds are the family's fixed identities, not trial-derived.
+        let mut chip = FlashController::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(4),
+            FlashTimings::msp430(),
+            seeds[trial.index],
+        );
+        chip.trace_mut().set_capacity(0);
+        characterize_sample(
+            &mut chip,
+            SegmentAddr::new(0),
+            SegmentAddr::new(1),
+            50.0,
+            &sweep,
+            260,
+            3,
+        )
+    });
+    let windows = windows.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let fam = fuse_windows(windows, 50.0, 7, 3)?;
 
     let mut table = Table::new([
         "chip seed",

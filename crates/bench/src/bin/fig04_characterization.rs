@@ -5,15 +5,18 @@ use flashmark_bench::experiments::fig04;
 use flashmark_bench::output::{compare_line, results_dir, write_json, Table};
 use flashmark_bench::paper;
 use flashmark_core::SweepSpec;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0xF1604, threads_from_env_args()?);
     let levels: Vec<f64> = paper::FIG4_ALL_ERASED_US.iter().map(|&(k, _)| k).collect();
     let sweep = SweepSpec::fig4();
     eprintln!(
-        "fig04: characterizing {} stress levels (0-120 us sweep) ...",
-        levels.len()
+        "fig04: characterizing {} stress levels (0-120 us sweep) on {} thread(s) ...",
+        levels.len(),
+        runner.threads()
     );
-    let data = fig04(0xF1604, &levels, &sweep, 3)?;
+    let data = fig04(&runner, &levels, &sweep, 3)?;
 
     let mut table = Table::new(
         ["tPE (us)"].into_iter().map(String::from).chain(

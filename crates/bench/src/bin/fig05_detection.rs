@@ -4,11 +4,13 @@
 use flashmark_bench::experiments::fig05;
 use flashmark_bench::output::{compare_line, write_json};
 use flashmark_bench::paper;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::Micros;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0xF1605, threads_from_env_args()?);
     eprintln!("fig05: fresh vs 50K discrimination ...");
-    let data = fig05(0xF1605, 50.0, Micros::new(paper::FIG5_T_PEW_US))?;
+    let data = fig05(&runner, 50.0, Micros::new(paper::FIG5_T_PEW_US))?;
 
     println!(
         "at tPEW = {:.0} us: fresh segment has {} programmed cells, 50K segment {}",

@@ -6,13 +6,19 @@ use flashmark_bench::experiments::fig09;
 use flashmark_bench::output::{compare_line, results_dir, write_json, Table};
 use flashmark_bench::paper;
 use flashmark_core::SweepSpec;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::Micros;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0xF1609, threads_from_env_args()?);
     let levels = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0];
     let sweep = SweepSpec::new(Micros::new(2.0), Micros::new(80.0), Micros::new(2.0))?;
-    eprintln!("fig09: BER sweep over {} stress levels ...", levels.len());
-    let data = fig09(0xF1609, &levels, &sweep)?;
+    eprintln!(
+        "fig09: BER sweep over {} stress levels on {} thread(s) ...",
+        levels.len(),
+        runner.threads()
+    );
+    let data = fig09(&runner, &levels, &sweep)?;
 
     println!(
         "watermark 1-bit fraction: {:.3} (small-tPE plateau)",

@@ -5,6 +5,7 @@
 use flashmark_bench::experiments::fig10;
 use flashmark_bench::output::write_json;
 use flashmark_bench::paper;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::Micros;
 
 fn bit_row(bits: &[bool]) -> String {
@@ -12,9 +13,10 @@ fn bit_row(bits: &[bool]) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0xF1610, threads_from_env_args()?);
     eprintln!("fig10: 7-replica majority extraction at 50K ...");
     let data = fig10(
-        0xF1610,
+        &runner,
         paper::FIG10_BITS,
         paper::FIG10_REPLICAS,
         paper::FIG10_STRESS_KCYCLES,

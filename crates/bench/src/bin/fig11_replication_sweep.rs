@@ -8,9 +8,11 @@ use flashmark_bench::experiments::fig11;
 use flashmark_bench::output::{compare_line, results_dir, write_json, Table};
 use flashmark_bench::paper;
 use flashmark_core::{ReplicaLayout, SweepSpec};
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::Micros;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0xF1611, threads_from_env_args()?);
     let layout = if std::env::args().any(|a| a == "--layout=interleaved" || a == "interleaved") {
         ReplicaLayout::Interleaved
     } else {
@@ -19,8 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let levels = [40.0, 50.0, 60.0, 70.0];
     let reps = [3usize, 5, 7];
     let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(56.0), Micros::new(2.0))?;
-    eprintln!("fig11: replication sweep ({layout:?} layout) ...");
-    let data = fig11(0xF1611, &levels, &reps, &sweep, layout)?;
+    eprintln!(
+        "fig11: replication sweep ({layout:?} layout) on {} thread(s) ...",
+        runner.threads()
+    );
+    let data = fig11(&runner, &levels, &reps, &sweep, layout)?;
 
     for &k in &levels {
         let mut table = Table::new(

@@ -6,12 +6,17 @@
 //! This experiment quantifies the conflict for the full record workflow:
 //! at each `NPE`, several chips are manufactured and verified; we report
 //! the verification pass rate and the (accelerated) imprint time.
+//!
+//! Every (level, chip) pair is one independent trial — its own
+//! manufacturer and verifier — so the sweep parallelizes across
+//! `--threads N` with bit-identical results.
 
 use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
 use flashmark_core::{FlashmarkConfig, TestStatus, Verdict, Verifier};
 use flashmark_msp430::Msp430Variant;
 use flashmark_nor::interface::FlashInterface;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::Micros;
 use flashmark_supply::Manufacturer;
 
@@ -25,14 +30,17 @@ impl_to_json!(NpeSweep { rows });
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const MFG: u16 = 0x7C01;
     const CHIPS: usize = 6;
+    let runner = TrialRunner::with_threads(0x59EE9, threads_from_env_args()?);
     let levels = [20_000u64, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000];
     eprintln!(
-        "npe_sweep: {CHIPS} chips per level, {} levels ...",
-        levels.len()
+        "npe_sweep: {CHIPS} chips per level, {} levels, {} thread(s) ...",
+        levels.len(),
+        runner.threads()
     );
 
-    let mut rows = Vec::new();
-    for &n_pe in &levels {
+    let outcomes = runner.run(levels.len() * CHIPS, |trial| {
+        let n_pe = levels[trial.index / CHIPS];
+        let i = trial.index % CHIPS;
         let cfg = FlashmarkConfig::builder()
             .n_pe(n_pe)
             .replicas(7)
@@ -40,18 +48,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
         let mut fab = Manufacturer::new(MFG, Msp430Variant::F5438, cfg.clone());
         let verifier = Verifier::new(cfg, MFG);
-        let mut passed = 0;
-        let mut imprint_s = 0.0;
-        for i in 0..CHIPS {
-            let mut chip = fab.produce(0x59EE9 + n_pe + i as u64, TestStatus::Accept)?;
-            imprint_s = chip.flash.main().elapsed().get(); // dominated by the imprint
-            let seg = chip.flash.watermark_segment();
-            if verifier.verify(&mut chip.flash, seg)?.verdict == Verdict::Genuine {
-                passed += 1;
-            }
-        }
-        rows.push((n_pe, CHIPS, passed, imprint_s));
-    }
+        // Chip seeds match the historical serial sweep, so the family is
+        // the same regardless of the thread count.
+        let mut chip = fab.produce(0x59EE9 + n_pe + i as u64, TestStatus::Accept)?;
+        let imprint_s = chip.flash.main().elapsed().get(); // dominated by the imprint
+        let seg = chip.flash.watermark_segment();
+        let genuine = verifier.verify(&mut chip.flash, seg)?.verdict == Verdict::Genuine;
+        Ok::<_, flashmark_core::CoreError>((genuine, imprint_s))
+    });
+    let outcomes = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let rows: Vec<(u64, usize, usize, f64)> = levels
+        .iter()
+        .enumerate()
+        .map(|(li, &n_pe)| {
+            let per_level = &outcomes[li * CHIPS..(li + 1) * CHIPS];
+            let passed = per_level.iter().filter(|&&(ok, _)| ok).count();
+            let imprint_s = per_level.last().map_or(0.0, |&(_, s)| s);
+            (n_pe, CHIPS, passed, imprint_s)
+        })
+        .collect();
 
     let mut table = Table::new(["NPE", "chips", "verified genuine", "imprint (s, accel)"]);
     for &(n, c, p, t) in &rows {

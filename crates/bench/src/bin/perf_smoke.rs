@@ -1,0 +1,66 @@
+//! CI perf gate: re-times the segment kernels and fails (exit 1) if any
+//! `kernel/*` entry regresses more than 2× against the committed
+//! `results/BENCH_runtime.json` baseline.
+//!
+//! Experiment wall times in the baseline are informational only — they
+//! depend on trial counts and machine, so only the kernel entries gate.
+//! The freshly measured report is written next to the baseline so CI can
+//! upload it as an artifact.
+
+use std::process::ExitCode;
+
+use flashmark_bench::microbench::{kernel_suite, RuntimeReport};
+use flashmark_bench::output::results_dir;
+
+/// Allowed slowdown vs the committed baseline before the gate fails.
+const BUDGET_FACTOR: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let current = kernel_suite();
+    for e in &current.entries {
+        println!("{:<28} {:>12.3} µs/iter", e.name, e.wall_s * 1e6);
+    }
+
+    let baseline_path = results_dir().join("BENCH_runtime.json");
+    let baseline = match RuntimeReport::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "no usable baseline at {} ({e}); writing fresh report without gating",
+                baseline_path.display()
+            );
+            if let Err(e) = current.write(&baseline_path) {
+                eprintln!("failed to write {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    // Keep the baseline's experiment/* entries; replace kernel timings
+    // with this machine's measurements for the uploaded artifact.
+    let mut merged = RuntimeReport::new();
+    merged.entries.extend(current.entries.iter().cloned());
+    merged.entries.extend(
+        baseline
+            .entries
+            .iter()
+            .filter(|e| !e.name.starts_with("kernel/"))
+            .cloned(),
+    );
+    if let Err(e) = merged.write(&baseline_path) {
+        eprintln!("failed to write {}: {e}", baseline_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let regressions = baseline.regressions(&current, BUDGET_FACTOR, "kernel/");
+    if regressions.is_empty() {
+        println!("perf smoke OK: no kernel regressed > {BUDGET_FACTOR}x");
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("PERF REGRESSION {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,328 +1,61 @@
 //! Runs every experiment and writes a paper-vs-measured Markdown report
 //! (`results/experiments_report.md`) — the data behind `EXPERIMENTS.md`.
+//!
+//! Flags:
+//!
+//! - `--threads N` — worker threads (default: available parallelism;
+//!   `1` runs the exact legacy serial path). Results are bit-identical
+//!   at any thread count.
+//! - `--smoke` / `--profile=smoke` — reduced trial counts for CI.
+//!
+//! Exits nonzero if any experiment fails; the report still covers every
+//! experiment that ran.
 
-use std::fmt::Write as _;
-use std::fs;
+use std::process::ExitCode;
 
-use flashmark_bench::experiments::{
-    ecc_ablation, fig04, fig05, fig09, fig10, fig11, read_majority_ablation, recycled_probe, table1,
-};
-use flashmark_bench::output::{results_dir, write_json};
-use flashmark_bench::paper;
-use flashmark_core::{ReplicaLayout, SweepSpec};
-use flashmark_physics::Micros;
-use flashmark_supply::{ScenarioConfig, SupplyChainScenario};
+use flashmark_bench::output::results_dir;
+use flashmark_bench::suite::{run_suite, Profile, SuiteOptions};
+use flashmark_par::threads_from_env_args;
 
-fn row(md: &mut String, artifact: &str, metric: &str, paper: String, measured: String) {
-    let _ = writeln!(md, "| {artifact} | {metric} | {paper} | {measured} |");
-}
-
-#[allow(clippy::too_many_lines)]
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut md = String::from(
-        "# Flashmark reproduction — paper vs measured\n\n\
-         Generated by `cargo run --release -p flashmark-bench --bin run_all`.\n\n\
-         | artifact | metric | paper | measured |\n|---|---|---|---|\n",
+fn main() -> ExitCode {
+    let threads = match threads_from_env_args() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let smoke = std::env::args()
+        .skip(1)
+        .any(|a| a == "--smoke" || a == "--profile=smoke");
+    let opts = SuiteOptions {
+        threads,
+        profile: if smoke { Profile::Smoke } else { Profile::Full },
+        results_dir: results_dir(),
+    };
+    let report = match run_suite(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.markdown);
+    eprintln!(
+        "wrote {}",
+        opts.results_dir.join("experiments_report.md").display()
     );
-
-    // Fig. 4.
-    eprintln!("[1/9] fig04 ...");
-    let levels: Vec<f64> = paper::FIG4_ALL_ERASED_US.iter().map(|&(k, _)| k).collect();
-    let f4 = fig04(0xF1604, &levels, &SweepSpec::fig4(), 3)?;
-    write_json("fig04", &f4)?;
-    for (c, &(k, p)) in f4.curves.iter().zip(paper::FIG4_ALL_ERASED_US) {
-        row(
-            &mut md,
-            "Fig. 4",
-            &format!("all cells erased @{k}K (µs)"),
-            format!("{p:.0}"),
-            format!("{:.0}", c.all_erased_us),
-        );
+    let failures = report.failures();
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in failures {
+            eprintln!(
+                "experiment {} failed: {}",
+                f.name,
+                f.error.as_deref().unwrap_or("unknown")
+            );
+        }
+        ExitCode::FAILURE
     }
-    if let Some(onset) = f4.curves[0].onset_us {
-        row(
-            &mut md,
-            "Fig. 4",
-            "fresh erase onset (µs)",
-            format!("{:.0}", paper::FIG4_FRESH_ONSET_US),
-            format!("{onset:.0}"),
-        );
-    }
-
-    // Fig. 5.
-    eprintln!("[2/9] fig05 ...");
-    let f5 = fig05(0xF1605, 50.0, Micros::new(paper::FIG5_T_PEW_US))?;
-    write_json("fig05", &f5)?;
-    row(
-        &mut md,
-        "Fig. 5",
-        "bits distinguishing 0K vs 50K @23 µs",
-        format!("{}/4096", paper::FIG5_DISTINGUISHABLE),
-        format!(
-            "{}/{} (optimum {} @{:.0} µs)",
-            f5.distinguishable, f5.total, f5.best_distinguishable, f5.best_t_pew_us
-        ),
-    );
-
-    // Fig. 9.
-    eprintln!("[3/9] fig09 ...");
-    let sweep9 = SweepSpec::new(Micros::new(2.0), Micros::new(80.0), Micros::new(2.0))?;
-    let f9 = fig09(0xF1609, &[0.0, 20.0, 40.0, 60.0, 80.0, 100.0], &sweep9)?;
-    write_json("fig09", &f9)?;
-    for s in &f9.series {
-        let m = s.minimum().map_or(f64::NAN, |(_, b)| b * 100.0);
-        let p = paper::FIG9_MIN_BER_PCT
-            .iter()
-            .find(|&&(k, _)| k == s.kcycles)
-            .map_or_else(|| "—".to_string(), |&(_, b)| format!("{b}"));
-        row(
-            &mut md,
-            "Fig. 9",
-            &format!("min single-copy BER @{}K (%)", s.kcycles),
-            p,
-            format!("{m:.1}"),
-        );
-    }
-
-    // Fig. 10.
-    eprintln!("[4/9] fig10 ...");
-    let f10 = fig10(
-        0xF1610,
-        paper::FIG10_BITS,
-        paper::FIG10_REPLICAS,
-        paper::FIG10_STRESS_KCYCLES,
-        Micros::new(paper::FIG10_T_PEW_US),
-    )?;
-    write_json("fig10", &f10)?;
-    row(
-        &mut md,
-        "Fig. 10",
-        "majority-voted errors (30 bits, 7 replicas, 50K)",
-        "0".into(),
-        format!("{}", f10.recovered_errors),
-    );
-    row(
-        &mut md,
-        "Fig. 10",
-        "error direction (bad→good : good→bad)",
-        "bad→good dominates".into(),
-        format!("{} : {}", f10.bad_to_good, f10.good_to_bad),
-    );
-
-    // Fig. 11.
-    eprintln!("[5/9] fig11 ...");
-    let sweep11 = SweepSpec::new(Micros::new(20.0), Micros::new(56.0), Micros::new(2.0))?;
-    let f11 = fig11(
-        0xF1611,
-        &[40.0, 50.0, 60.0, 70.0],
-        &[3, 5, 7],
-        &sweep11,
-        ReplicaLayout::Contiguous,
-    )?;
-    write_json("fig11", &f11)?;
-    for &(r, p) in paper::FIG11_40K_MIN_BER_PCT {
-        let m = f11
-            .series
-            .iter()
-            .find(|s| s.kcycles == 40.0 && s.replicas == r)
-            .and_then(|s| s.minimum())
-            .map_or(f64::NAN, |(_, b)| b * 100.0);
-        row(
-            &mut md,
-            "Fig. 11",
-            &format!("min BER @40K, {r} replicas (%)"),
-            format!("{p}"),
-            format!("{m:.2}"),
-        );
-    }
-    let m70 = f11
-        .series
-        .iter()
-        .find(|s| s.kcycles == 70.0 && s.replicas == 3)
-        .and_then(|s| s.minimum())
-        .map_or(f64::NAN, |(_, b)| b * 100.0);
-    row(
-        &mut md,
-        "Fig. 11",
-        "min BER @70K, 3 replicas (%)",
-        "0 (full recovery)".into(),
-        format!("{m70:.2}"),
-    );
-
-    // Timing.
-    eprintln!("[6/9] table1 ...");
-    let t1 = table1(0xF1671, &[40_000, 70_000])?;
-    write_json("table1", &t1)?;
-    row(
-        &mut md,
-        "§V timing",
-        "baseline imprint @40K (s)",
-        format!("{}", paper::IMPRINT_BASELINE_40K_S),
-        format!("{:.0}", t1.imprint[0].1),
-    );
-    row(
-        &mut md,
-        "§V timing",
-        "accelerated imprint @40K (s)",
-        format!("{}", paper::IMPRINT_ACCEL_40K_S),
-        format!("{:.0}", t1.imprint[0].2),
-    );
-    row(
-        &mut md,
-        "§V timing",
-        "baseline imprint @70K (s)",
-        format!("{}", paper::IMPRINT_BASELINE_70K_S),
-        format!("{:.0}", t1.imprint[1].1),
-    );
-    row(
-        &mut md,
-        "§V timing",
-        "accelerated imprint @70K (s)",
-        format!("{}", paper::IMPRINT_ACCEL_70K_S),
-        format!("{:.0}", t1.imprint[1].2),
-    );
-    row(
-        &mut md,
-        "§V timing",
-        "extract with replicas (ms)",
-        format!("{} (incl. host I/O)", paper::EXTRACT_MS),
-        format!("{:.0} (on-chip only)", t1.extract_s * 1000.0),
-    );
-
-    // Ablations.
-    eprintln!("[7/9] ablations ...");
-    let ecc = ecc_ablation(0xECC, 50.0, Micros::new(30.0))?;
-    write_json("ecc_ablation", &ecc)?;
-    for (name, bits, ber, _) in &ecc.rows {
-        row(
-            &mut md,
-            "ablation",
-            &format!("{name} post-decode BER ({bits} cells) (%)"),
-            "—".into(),
-            format!("{:.2}", ber * 100.0),
-        );
-    }
-    let rm = read_majority_ablation(
-        0xECC2,
-        40.0,
-        &SweepSpec::new(Micros::new(24.0), Micros::new(44.0), Micros::new(2.0))?,
-        &[1, 3, 5],
-    )?;
-    write_json("read_majority", &rm)?;
-    for &(n, ber) in &rm.rows {
-        row(
-            &mut md,
-            "ablation",
-            &format!("min BER @40K with N={n} reads (%)"),
-            "—".into(),
-            format!("{:.2}", ber * 100.0),
-        );
-    }
-
-    // Recycled probe.
-    eprintln!("[8/11] recycled probe ...");
-    let rp = recycled_probe(0xF1612, &[0.0, 10.0, 20.0, 50.0, 100.0])?;
-    write_json("recycled_probe", &rp)?;
-    for &(k, frac) in &rp.rows {
-        row(
-            &mut md,
-            "recycling",
-            &format!("programmed fraction after probe @{k}K prior use"),
-            "—".into(),
-            format!("{:.2}", frac),
-        );
-    }
-
-    // Family consistency (the paper's "chips within a family behave
-    // consistently" observation).
-    eprintln!("[9/11] family consistency ...");
-    {
-        use flashmark_core::derive_recipe;
-        use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
-        use flashmark_physics::PhysicsParams;
-        let mut chips: Vec<FlashController> = (0..4u64)
-            .map(|i| {
-                FlashController::new(
-                    PhysicsParams::msp430_like(),
-                    FlashGeometry::single_bank(4),
-                    FlashTimings::msp430(),
-                    0xFA31 + i * 7,
-                )
-            })
-            .collect();
-        let sweep = SweepSpec::new(Micros::new(14.0), Micros::new(50.0), Micros::new(2.0))?;
-        let fam = derive_recipe(
-            &mut chips,
-            SegmentAddr::new(0),
-            SegmentAddr::new(1),
-            50.0,
-            &sweep,
-            260,
-            7,
-            3,
-        )?;
-        row(
-            &mut md,
-            "family",
-            "per-chip optimum spread (µs)",
-            "consistent across samples".into(),
-            format!(
-                "{:.0} (recipe tPEW {:.0} µs)",
-                fam.optimum_spread().get(),
-                fam.recipe.t_pew.get()
-            ),
-        );
-    }
-
-    // Flashmark on NAND (conclusion's applicability claim).
-    eprintln!("[10/11] flashmark on NAND ...");
-    {
-        use flashmark_core::{Extractor, Imprinter, Watermark};
-        use flashmark_nand::{NandChip, NandGeometry, NandWordAdapter};
-        use flashmark_nor::SegmentAddr;
-        let cfg = flashmark_core::FlashmarkConfig::builder()
-            .n_pe(70_000)
-            .replicas(7)
-            .t_pew(Micros::new(28.0))
-            .build()?;
-        let mut nand = NandWordAdapter::new(NandChip::new(NandGeometry::tiny(), 0x0A1));
-        let wm = Watermark::from_ascii("NAND-TOO")?;
-        let rep = Imprinter::new(&cfg).imprint(&mut nand, SegmentAddr::new(0), &wm)?;
-        let e = Extractor::new(&cfg).extract(&mut nand, SegmentAddr::new(0), wm.len())?;
-        row(
-            &mut md,
-            "NAND",
-            "imprint @70K (s) / post-vote BER (%)",
-            "applicable to NAND (conclusion)".into(),
-            format!(
-                "{:.0} s / {:.2} %",
-                rep.elapsed.get(),
-                e.ber_against(&wm) * 100.0
-            ),
-        );
-    }
-
-    // Supply-chain scenario.
-    eprintln!("[11/11] supply-chain scenario ...");
-    let stats = SupplyChainScenario::new(ScenarioConfig::small(0x5CA1E)).run()?;
-    row(
-        &mut md,
-        "scenario",
-        "counterfeit detection rate (%)",
-        "100 (design goal)".into(),
-        format!("{:.0}", stats.detection_rate() * 100.0),
-    );
-    row(
-        &mut md,
-        "scenario",
-        "genuine false-positive rate (%)",
-        "0 (design goal)".into(),
-        format!("{:.0}", stats.false_positive_rate() * 100.0),
-    );
-
-    let path = results_dir().join("experiments_report.md");
-    fs::write(&path, &md)?;
-    println!("{md}");
-    eprintln!("wrote {}", path.display());
-    Ok(())
 }

@@ -5,10 +5,12 @@
 use flashmark_bench::experiments::table1;
 use flashmark_bench::output::{compare_line, write_json, Table};
 use flashmark_bench::paper;
+use flashmark_par::{threads_from_env_args, TrialRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0xF1671, threads_from_env_args()?);
     eprintln!("table1: imprint/extract timing ...");
-    let data = table1(0xF1671, &[40_000, 70_000])?;
+    let data = table1(&runner, &[40_000, 70_000])?;
 
     let mut table = Table::new(["NPE", "baseline (s)", "accelerated (s)", "speedup"]);
     for &(n, base, accel, speedup) in &data.imprint {

@@ -4,12 +4,17 @@
 //! on a hot die, so a fixed `tPEW` drifts inside (or out of) the window.
 //! This experiment quantifies the drift and shows that the verifier's
 //! window-retry ladder absorbs realistic temperature excursions.
+//!
+//! Each temperature is one independent trial that re-creates the same
+//! physical chip (fixed seed — it is the same die measured at different
+//! temperatures), imprints it, and sweeps the extraction time.
 
 use flashmark_bench::harness::uppercase_ascii_watermark;
 use flashmark_bench::impl_to_json;
 use flashmark_bench::output::{write_json, Table};
-use flashmark_core::{Extractor, FlashmarkConfig, Imprinter, SweepSpec};
+use flashmark_core::{CoreError, Extractor, FlashmarkConfig, Imprinter, SweepSpec};
 use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
+use flashmark_par::{threads_from_env_args, TrialRunner};
 use flashmark_physics::{Micros, PhysicsParams};
 
 #[derive(Debug)]
@@ -25,28 +30,35 @@ impl_to_json!(TempSweep {
 });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = TrialRunner::with_threads(0x7E3, threads_from_env_args()?);
     let wm = uppercase_ascii_watermark(512, 0x7E);
     let sweep = SweepSpec::new(Micros::new(10.0), Micros::new(60.0), Micros::new(2.0))?;
     let temps = [-20.0, 0.0, 25.0, 55.0, 85.0];
-
-    let mut flash = FlashController::new(
-        PhysicsParams::msp430_like(),
-        FlashGeometry::single_bank(2),
-        FlashTimings::msp430(),
-        0x7E3,
+    eprintln!(
+        "temperature_sweep: {} temperatures on {} thread(s) ...",
+        temps.len(),
+        runner.threads()
     );
-    let seg = SegmentAddr::new(0);
-    let cfg = FlashmarkConfig::builder()
-        .n_pe(60_000)
-        .replicas(1)
-        .reads(1)
-        .build()?;
-    Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
 
-    let mut rows = Vec::new();
-    let mut fixed = Vec::new();
-    let mut t_ref = 0.0;
-    for &temp in &temps {
+    let per_temp = runner.run(temps.len(), |trial| {
+        let temp = temps[trial.index];
+        // The same die at every temperature: the chip seed is fixed, not
+        // trial-derived.
+        let mut flash = FlashController::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(2),
+            FlashTimings::msp430(),
+            0x7E3,
+        );
+        flash.trace_mut().set_capacity(0);
+        let seg = SegmentAddr::new(0);
+        let cfg = FlashmarkConfig::builder()
+            .n_pe(60_000)
+            .replicas(1)
+            .reads(1)
+            .build()?;
+        Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+
         flash.set_temperature_c(temp);
         let mut best = (0.0f64, f64::INFINITY);
         let mut at_ref = f64::NAN;
@@ -67,13 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 at_ref = ber;
             }
         }
-        if (temp - 25.0).abs() < 0.01 {
-            t_ref = best.0;
-        }
-        rows.push((temp, best.0, best.1));
-        fixed.push((temp, at_ref));
-    }
-    flash.set_temperature_c(25.0);
+        Ok::<_, CoreError>(((temp, best.0, best.1), (temp, at_ref)))
+    });
+    let per_temp = per_temp.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let (rows, fixed): (Vec<(f64, f64, f64)>, Vec<(f64, f64)>) = per_temp.into_iter().unzip();
+    let t_ref = rows
+        .iter()
+        .find(|&&(temp, _, _)| (temp - 25.0).abs() < 0.01)
+        .map_or(0.0, |&(_, t, _)| t);
 
     let mut table = Table::new(["temp (C)", "best tPE (us)", "min BER %", "BER @28us %"]);
     for ((temp, t, ber), (_, f)) in rows.iter().zip(&fixed) {

@@ -1,7 +1,11 @@
 //! The experiments themselves — one function per paper figure/table.
 //!
-//! Every function is deterministic given its seed and returns a
-//! JSON-serializable result; the binaries print tables and dump JSON/CSV.
+//! Every function takes a [`TrialRunner`] and is deterministic given the
+//! runner's experiment seed, independent of the worker count: each
+//! independent unit of work (a stress level, a replica pair, a read count)
+//! is one *trial* running on its own chip seeded by
+//! `TrialRunner::trial_seed`, and results are merged in trial order.
+//! The binaries print tables and dump JSON/CSV.
 
 use flashmark_core::{
     analyze_segment, characterize_segment, select_t_pew, CoreError, Extractor, FlashmarkConfig,
@@ -10,9 +14,15 @@ use flashmark_core::{
 use flashmark_ecc::{Code, Hamming};
 use flashmark_nor::interface::{FlashInterface, FlashInterfaceExt};
 use flashmark_nor::{FlashController, SegmentAddr};
+use flashmark_par::TrialRunner;
 use flashmark_physics::Micros;
 
-use crate::harness::{precondition_segment, test_chip, uppercase_ascii_watermark};
+use crate::harness::{precondition_segment, test_chip, trial_chip, uppercase_ascii_watermark};
+
+/// Collects per-trial results, surfacing the first error in trial order.
+fn merge<T>(results: Vec<Result<T, CoreError>>) -> Result<Vec<T>, CoreError> {
+    results.into_iter().collect()
+}
 
 // ---------------------------------------------------------------- Fig. 4 --
 
@@ -37,28 +47,28 @@ pub struct Fig04Data {
     pub curves: Vec<Fig04Curve>,
 }
 
-/// Regenerates Fig. 4.
+/// Regenerates Fig. 4. One trial per stress level.
 ///
 /// # Errors
 ///
 /// Flash/configuration errors.
 pub fn fig04(
-    seed: u64,
+    runner: &TrialRunner,
     stress_kcycles: &[f64],
     sweep: &SweepSpec,
     reads: usize,
 ) -> Result<Fig04Data, CoreError> {
-    let mut flash = test_chip(seed);
-    let mut curves = Vec::new();
-    for (i, &k) in stress_kcycles.iter().enumerate() {
-        let seg = SegmentAddr::new(i as u32);
+    let curves = runner.run(stress_kcycles.len(), |trial| {
+        let k = stress_kcycles[trial.index];
+        let mut flash = trial_chip(trial);
+        let seg = SegmentAddr::new(0);
         precondition_segment(&mut flash, seg, (k * 1000.0) as u64)?;
         let curve = characterize_segment(&mut flash, seg, sweep, reads)?;
         let all_erased_us = match curve.all_erased_time() {
             Some(t) => t.get(),
             None => all_erased_search(&mut flash, seg, sweep.end, reads)?.get(),
         };
-        curves.push(Fig04Curve {
+        Ok(Fig04Curve {
             kcycles: k,
             points: curve
                 .points
@@ -67,9 +77,11 @@ pub fn fig04(
                 .collect(),
             all_erased_us,
             onset_us: curve.onset_time().map(Micros::get),
-        });
-    }
-    Ok(Fig04Data { curves })
+        })
+    });
+    Ok(Fig04Data {
+        curves: merge(curves)?,
+    })
 }
 
 /// Searches (coarse-to-exact upward scan) for the minimum `tPE` at which a
@@ -121,8 +133,13 @@ pub struct Fig05Data {
 /// # Errors
 ///
 /// Flash/configuration errors.
-pub fn fig05(seed: u64, stress_kcycles: f64, t_pew: Micros) -> Result<Fig05Data, CoreError> {
-    let mut flash = test_chip(seed);
+pub fn fig05(
+    runner: &TrialRunner,
+    stress_kcycles: f64,
+    t_pew: Micros,
+) -> Result<Fig05Data, CoreError> {
+    // A single chip carries both segments, so this is one trial.
+    let mut flash = trial_chip(runner.trial(0));
     let fresh_seg = SegmentAddr::new(0);
     let worn_seg = SegmentAddr::new(1);
     precondition_segment(&mut flash, worn_seg, (stress_kcycles * 1000.0) as u64)?;
@@ -167,7 +184,7 @@ impl BerSeries {
         self.points
             .iter()
             .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("BER is never NaN"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -186,13 +203,18 @@ pub struct Fig09Data {
 /// # Errors
 ///
 /// Flash/configuration errors.
-pub fn fig09(seed: u64, stress_kcycles: &[f64], sweep: &SweepSpec) -> Result<Fig09Data, CoreError> {
-    let mut flash = test_chip(seed);
-    let geometry = flash.geometry();
-    let wm = uppercase_ascii_watermark(geometry.bytes_per_segment() as usize, seed ^ 0x99);
-    let mut series = Vec::new();
-    for (i, &k) in stress_kcycles.iter().enumerate() {
-        let seg = SegmentAddr::new(i as u32);
+pub fn fig09(
+    runner: &TrialRunner,
+    stress_kcycles: &[f64],
+    sweep: &SweepSpec,
+) -> Result<Fig09Data, CoreError> {
+    let seed = runner.experiment_seed();
+    let bytes = test_chip(seed).geometry().bytes_per_segment() as usize;
+    let wm = uppercase_ascii_watermark(bytes, seed ^ 0x99);
+    let series = runner.run(stress_kcycles.len(), |trial| {
+        let k = stress_kcycles[trial.index];
+        let mut flash = trial_chip(trial);
+        let seg = SegmentAddr::new(0);
         let points = if k == 0.0 {
             // No imprint at all: the watermark was never written.
             ber_sweep(&mut flash, seg, &wm, 1, sweep)?
@@ -205,15 +227,15 @@ pub fn fig09(seed: u64, stress_kcycles: &[f64], sweep: &SweepSpec) -> Result<Fig
             Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
             ber_sweep(&mut flash, seg, &wm, 1, sweep)?
         };
-        series.push(BerSeries {
+        Ok(BerSeries {
             kcycles: k,
             replicas: 1,
             points,
-        });
-    }
+        })
+    });
     Ok(Fig09Data {
         ones_fraction: wm.ones_fraction(),
-        series,
+        series: merge(series)?,
     })
 }
 
@@ -270,13 +292,14 @@ pub struct Fig10Data {
 ///
 /// Flash/configuration errors.
 pub fn fig10(
-    seed: u64,
+    runner: &TrialRunner,
     bits: usize,
     replicas: usize,
     stress_kcycles: f64,
     t_pew: Micros,
 ) -> Result<Fig10Data, CoreError> {
-    let mut flash = test_chip(seed);
+    let seed = runner.experiment_seed();
+    let mut flash = trial_chip(runner.trial(0));
     let seg = SegmentAddr::new(0);
     let wm = {
         let full = uppercase_ascii_watermark(bits.div_ceil(8), seed ^ 0x1010);
@@ -338,56 +361,60 @@ pub struct Fig11Data {
 ///
 /// Flash/configuration errors.
 pub fn fig11(
-    seed: u64,
+    runner: &TrialRunner,
     stress_kcycles: &[f64],
     replica_counts: &[usize],
     sweep: &SweepSpec,
     layout: ReplicaLayout,
 ) -> Result<Fig11Data, CoreError> {
-    let mut flash = test_chip(seed);
-    let mut series = Vec::new();
-    let mut seg_index = 0u32;
-    for &k in stress_kcycles {
-        for &reps in replica_counts {
-            let seg = SegmentAddr::new(seg_index);
-            seg_index += 1;
-            // Largest watermark that fits with this replication.
-            let data_bits = (4096 / reps).min(512);
-            let wm = {
-                let full = uppercase_ascii_watermark(data_bits.div_ceil(8), seed ^ 0x1111);
-                Watermark::from_bits(full.bits()[..data_bits].to_vec())?
-            };
-            let cfg = FlashmarkConfig::builder()
-                .n_pe((k * 1000.0) as u64)
+    let seed = runner.experiment_seed();
+    // One trial per (stress level, replica count) pair, in row-major order.
+    let pairs: Vec<(f64, usize)> = stress_kcycles
+        .iter()
+        .flat_map(|&k| replica_counts.iter().map(move |&reps| (k, reps)))
+        .collect();
+    let series = runner.run(pairs.len(), |trial| {
+        let (k, reps) = pairs[trial.index];
+        let mut flash = trial_chip(trial);
+        let seg = SegmentAddr::new(0);
+        // Largest watermark that fits with this replication.
+        let data_bits = (4096 / reps).min(512);
+        let wm = {
+            let full = uppercase_ascii_watermark(data_bits.div_ceil(8), seed ^ 0x1111);
+            Watermark::from_bits(full.bits()[..data_bits].to_vec())?
+        };
+        let cfg = FlashmarkConfig::builder()
+            .n_pe((k * 1000.0) as u64)
+            .replicas(reps)
+            .reads(1)
+            .layout(layout)
+            .build()?;
+        Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+
+        let mut points = Vec::new();
+        for t in sweep.times() {
+            if t.get() <= 0.0 {
+                continue;
+            }
+            let cfg_t = FlashmarkConfig::builder()
+                .n_pe(1)
                 .replicas(reps)
                 .reads(1)
+                .t_pew(t)
                 .layout(layout)
                 .build()?;
-            Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
-
-            let mut points = Vec::new();
-            for t in sweep.times() {
-                if t.get() <= 0.0 {
-                    continue;
-                }
-                let cfg_t = FlashmarkConfig::builder()
-                    .n_pe(1)
-                    .replicas(reps)
-                    .reads(1)
-                    .t_pew(t)
-                    .layout(layout)
-                    .build()?;
-                let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len())?;
-                points.push((t.get(), e.ber_against(&wm)));
-            }
-            series.push(BerSeries {
-                kcycles: k,
-                replicas: reps,
-                points,
-            });
+            let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len())?;
+            points.push((t.get(), e.ber_against(&wm)));
         }
-    }
-    Ok(Fig11Data { series })
+        Ok(BerSeries {
+            kcycles: k,
+            replicas: reps,
+            points,
+        })
+    });
+    Ok(Fig11Data {
+        series: merge(series)?,
+    })
 }
 
 // ------------------------------------------------------------ §V timing --
@@ -406,33 +433,39 @@ pub struct Table1Data {
 /// # Errors
 ///
 /// Flash/configuration errors.
-pub fn table1(seed: u64, cycle_counts: &[u64]) -> Result<Table1Data, CoreError> {
+pub fn table1(runner: &TrialRunner, cycle_counts: &[u64]) -> Result<Table1Data, CoreError> {
+    let seed = runner.experiment_seed();
     let wm = uppercase_ascii_watermark(64, seed ^ 0x71);
-    let mut imprint = Vec::new();
-    let mut seg_index = 0u32;
-    let mut flash = test_chip(seed);
-    for &n in cycle_counts {
-        let mut row = [0.0f64; 2];
-        for (j, accel) in [false, true].into_iter().enumerate() {
-            let seg = SegmentAddr::new(seg_index);
-            seg_index += 1;
-            let cfg = FlashmarkConfig::builder()
-                .n_pe(n)
-                .replicas(7)
-                .accelerated(accel)
-                .build()?;
-            let report = Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
-            row[j] = report.elapsed.get();
-        }
-        imprint.push((n, row[0], row[1], row[0] / row[1]));
-    }
+    // Two trials per NPE (baseline then accelerated), each on its own chip.
+    let elapsed = runner.run(cycle_counts.len() * 2, |trial| {
+        let n = cycle_counts[trial.index / 2];
+        let accel = trial.index % 2 == 1;
+        let mut flash = trial_chip(trial);
+        let cfg = FlashmarkConfig::builder()
+            .n_pe(n)
+            .replicas(7)
+            .accelerated(accel)
+            .build()?;
+        let report = Imprinter::new(&cfg).imprint(&mut flash, SegmentAddr::new(0), &wm)?;
+        Ok(report.elapsed.get())
+    });
+    let elapsed = merge(elapsed)?;
+    let imprint = cycle_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let (base, accel) = (elapsed[2 * i], elapsed[2 * i + 1]);
+            (n, base, accel, base / accel)
+        })
+        .collect();
 
     // Extraction time of a 128-bit record with 7 replicas, 3 reads.
     let cfg = FlashmarkConfig::builder()
         .n_pe(70_000)
         .replicas(7)
         .build()?;
-    let seg = SegmentAddr::new(seg_index);
+    let mut flash = trial_chip(runner.trial(cycle_counts.len() * 2));
+    let seg = SegmentAddr::new(0);
     let record_wm = uppercase_ascii_watermark(16, seed ^ 0x72);
     Imprinter::new(&cfg).imprint(&mut flash, seg, &record_wm)?;
     let e = Extractor::new(&cfg).extract(&mut flash, seg, record_wm.len())?;
@@ -458,41 +491,42 @@ pub struct EccAblationData {
 ///
 /// Flash/configuration errors.
 pub fn ecc_ablation(
-    seed: u64,
+    runner: &TrialRunner,
     stress_kcycles: f64,
     t_pew: Micros,
 ) -> Result<EccAblationData, CoreError> {
-    let mut flash = test_chip(seed);
+    let seed = runner.experiment_seed();
     let record = uppercase_ascii_watermark(16, seed ^ 0x3C);
     let n_pe = (stress_kcycles * 1000.0) as u64;
-    let mut rows = Vec::new();
 
-    // 3-way replication via the standard pipeline.
-    {
-        let cfg = FlashmarkConfig::builder()
-            .n_pe(n_pe)
-            .replicas(3)
-            .t_pew(t_pew)
-            .reads(1)
-            .build()?;
-        let seg = SegmentAddr::new(0);
-        Imprinter::new(&cfg).imprint(&mut flash, seg, &record)?;
-        let e = Extractor::new(&cfg).extract(&mut flash, seg, record.len())?;
-        let ber = e.ber_against(&record);
-        rows.push((
-            "replication x3".to_string(),
-            record.len() * 3,
-            ber,
-            ber == 0.0,
-        ));
-    }
-
-    // Hamming codes: encode the record bits, imprint the codeword with no
+    // Trial 0: 3-way replication via the standard pipeline. Trials 1-2:
+    // Hamming codes — encode the record bits, imprint the codeword with no
     // replication, decode after extraction.
-    for (name, code) in [
-        ("hamming(15,11)", Hamming::new()),
-        ("hamming(16,11) ext", Hamming::extended()),
-    ] {
+    let rows = runner.run(3, |trial| {
+        let mut flash = trial_chip(trial);
+        let seg = SegmentAddr::new(0);
+        if trial.index == 0 {
+            let cfg = FlashmarkConfig::builder()
+                .n_pe(n_pe)
+                .replicas(3)
+                .t_pew(t_pew)
+                .reads(1)
+                .build()?;
+            Imprinter::new(&cfg).imprint(&mut flash, seg, &record)?;
+            let e = Extractor::new(&cfg).extract(&mut flash, seg, record.len())?;
+            let ber = e.ber_against(&record);
+            return Ok((
+                "replication x3".to_string(),
+                record.len() * 3,
+                ber,
+                ber == 0.0,
+            ));
+        }
+        let (name, code) = if trial.index == 1 {
+            ("hamming(15,11)", Hamming::new())
+        } else {
+            ("hamming(16,11) ext", Hamming::extended())
+        };
         let codeword = Watermark::from_bits(code.encode(record.bits()))?;
         let cfg = FlashmarkConfig::builder()
             .n_pe(n_pe)
@@ -500,14 +534,13 @@ pub fn ecc_ablation(
             .t_pew(t_pew)
             .reads(1)
             .build()?;
-        let seg = SegmentAddr::new(if name.contains("ext") { 2 } else { 1 });
         Imprinter::new(&cfg).imprint(&mut flash, seg, &codeword)?;
         let e = Extractor::new(&cfg).extract(&mut flash, seg, codeword.len())?;
         let decoded = code.decode(&e.bits())?;
         let ber = flashmark_ecc::bits::bit_error_rate(&decoded.data[..record.len()], record.bits());
-        rows.push((name.to_string(), codeword.len(), ber, ber == 0.0));
-    }
-    Ok(EccAblationData { rows })
+        Ok((name.to_string(), codeword.len(), ber, ber == 0.0))
+    });
+    Ok(EccAblationData { rows: merge(rows)? })
 }
 
 // ------------------------------------------------------- read majority ---
@@ -526,23 +559,24 @@ pub struct ReadMajorityData {
 ///
 /// Flash/configuration errors.
 pub fn read_majority_ablation(
-    seed: u64,
+    runner: &TrialRunner,
     stress_kcycles: f64,
     sweep: &SweepSpec,
     read_counts: &[usize],
 ) -> Result<ReadMajorityData, CoreError> {
-    let mut flash = test_chip(seed);
-    let seg = SegmentAddr::new(0);
-    let wm = uppercase_ascii_watermark(512, seed ^ 0x42);
-    let cfg = FlashmarkConfig::builder()
-        .n_pe((stress_kcycles * 1000.0) as u64)
-        .replicas(1)
-        .reads(1)
-        .build()?;
-    Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
+    let wm = uppercase_ascii_watermark(512, runner.experiment_seed() ^ 0x42);
+    // One trial per read count, each imprinting its own chip.
+    let rows = runner.run(read_counts.len(), |trial| {
+        let reads = read_counts[trial.index];
+        let mut flash = trial_chip(trial);
+        let seg = SegmentAddr::new(0);
+        let cfg = FlashmarkConfig::builder()
+            .n_pe((stress_kcycles * 1000.0) as u64)
+            .replicas(1)
+            .reads(1)
+            .build()?;
+        Imprinter::new(&cfg).imprint(&mut flash, seg, &wm)?;
 
-    let mut rows = Vec::new();
-    for &reads in read_counts {
         let mut best = f64::INFINITY;
         for t in sweep.times() {
             if t.get() <= 0.0 {
@@ -557,9 +591,9 @@ pub fn read_majority_ablation(
             let e = Extractor::new(&cfg_t).extract(&mut flash, seg, wm.len())?;
             best = best.min(e.ber_against(&wm));
         }
-        rows.push((reads, best));
-    }
-    Ok(ReadMajorityData { rows })
+        Ok((reads, best))
+    });
+    Ok(ReadMajorityData { rows: merge(rows)? })
 }
 
 // ------------------------------------------------------- stress probe ----
@@ -576,17 +610,20 @@ pub struct RecycledProbeData {
 /// # Errors
 ///
 /// Flash/configuration errors.
-pub fn recycled_probe(seed: u64, prior_kcycles: &[f64]) -> Result<RecycledProbeData, CoreError> {
-    let mut flash = test_chip(seed);
-    let det = StressDetector::fig5();
-    let mut rows = Vec::new();
-    for (i, &k) in prior_kcycles.iter().enumerate() {
-        let seg = SegmentAddr::new(i as u32);
+pub fn recycled_probe(
+    runner: &TrialRunner,
+    prior_kcycles: &[f64],
+) -> Result<RecycledProbeData, CoreError> {
+    let rows = runner.run(prior_kcycles.len(), |trial| {
+        let k = prior_kcycles[trial.index];
+        let mut flash = trial_chip(trial);
+        let det = StressDetector::fig5();
+        let seg = SegmentAddr::new(0);
         precondition_segment(&mut flash, seg, (k * 1000.0) as u64)?;
         let report = det.classify(&mut flash, seg)?;
-        rows.push((k, report.programmed_fraction()));
-    }
-    Ok(RecycledProbeData { rows })
+        Ok((k, report.programmed_fraction()))
+    });
+    Ok(RecycledProbeData { rows: merge(rows)? })
 }
 
 // JSON serialization of the result structs (the offline replacement for
@@ -637,10 +674,14 @@ mod tests {
 
     // Scaled-down smoke tests; full-scale runs live in the binaries.
 
+    fn serial(seed: u64) -> TrialRunner {
+        TrialRunner::with_threads(seed, 1)
+    }
+
     #[test]
     fn fig04_small() {
         let sweep = SweepSpec::new(Micros::new(0.0), Micros::new(60.0), Micros::new(10.0)).unwrap();
-        let d = fig04(1, &[0.0, 20.0], &sweep, 1).unwrap();
+        let d = fig04(&serial(1), &[0.0, 20.0], &sweep, 1).unwrap();
         assert_eq!(d.curves.len(), 2);
         assert!(d.curves[1].all_erased_us > d.curves[0].all_erased_us);
     }
@@ -648,7 +689,7 @@ mod tests {
     #[test]
     fn fig09_small() {
         let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(44.0), Micros::new(6.0)).unwrap();
-        let d = fig09(2, &[0.0, 40.0], &sweep).unwrap();
+        let d = fig09(&serial(2), &[0.0, 40.0], &sweep).unwrap();
         let m0 = d.series[0].minimum().unwrap().1;
         let m40 = d.series[1].minimum().unwrap().1;
         assert!(
@@ -658,8 +699,23 @@ mod tests {
     }
 
     #[test]
+    fn fig09_parallel_matches_serial() {
+        let sweep = SweepSpec::new(Micros::new(20.0), Micros::new(44.0), Micros::new(8.0)).unwrap();
+        let levels = [0.0, 20.0, 40.0];
+        let a = fig09(&serial(6), &levels, &sweep).unwrap();
+        let b = fig09(&TrialRunner::with_threads(6, 4), &levels, &sweep).unwrap();
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.kcycles.to_bits(), sb.kcycles.to_bits());
+            for (pa, pb) in sa.points.iter().zip(&sb.points) {
+                assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "BER diverged at {}", pa.0);
+            }
+        }
+    }
+
+    #[test]
     fn fig10_small() {
-        let d = fig10(3, 30, 7, 50.0, Micros::new(30.0)).unwrap();
+        let d = fig10(&serial(3), 30, 7, 50.0, Micros::new(30.0)).unwrap();
         assert_eq!(d.replicas.len(), 7);
         assert_eq!(d.recovered.len(), 30);
         assert!(
@@ -670,7 +726,7 @@ mod tests {
 
     #[test]
     fn table1_small() {
-        let d = table1(4, &[1_000]).unwrap();
+        let d = table1(&serial(4), &[1_000]).unwrap();
         let (_, baseline, accel, speedup) = d.imprint[0];
         assert!(baseline > accel);
         assert!(speedup > 2.0);
@@ -679,7 +735,7 @@ mod tests {
 
     #[test]
     fn recycled_probe_monotone() {
-        let d = recycled_probe(5, &[0.0, 30.0]).unwrap();
+        let d = recycled_probe(&serial(5), &[0.0, 30.0]).unwrap();
         assert!(d.rows[1].1 > d.rows[0].1 + 0.3);
     }
 }

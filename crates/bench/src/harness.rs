@@ -6,16 +6,30 @@ use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
 use flashmark_physics::rng::SplitMix64;
 use flashmark_physics::PhysicsParams;
 
+pub use flashmark_par::{default_threads, Trial, TrialRunner};
+
 /// A fresh simulated MSP430-class flash controller with enough segments for
 /// a multi-stress-level experiment.
 #[must_use]
 pub fn test_chip(seed: u64) -> FlashController {
-    FlashController::new(
+    let mut flash = FlashController::new(
         PhysicsParams::msp430_like(),
         FlashGeometry::single_bank(16),
         FlashTimings::msp430(),
         seed,
-    )
+    );
+    // Experiments never inspect the event trace; a capacity-0 ring makes
+    // `record()` a single predictable branch on the hot read/program paths.
+    flash.trace_mut().set_capacity(0);
+    flash
+}
+
+/// The chip of one [`Trial`]: a fresh [`test_chip`] keyed by the trial's
+/// derived seed, so every trial of a parallel experiment owns an
+/// independent, deterministic device.
+#[must_use]
+pub fn trial_chip(trial: Trial) -> FlashController {
+    test_chip(trial.seed)
 }
 
 /// Imprints `wm` into `seg` with `cycles` P/E cycles (closed-form fast
@@ -61,6 +75,10 @@ pub fn precondition_segment(
 
 /// A deterministic upper-case-ASCII watermark of `bytes` bytes — the
 /// payload class the paper's Fig. 9 uses (512 bytes fill a whole segment).
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero: watermarks are non-empty by definition.
 #[must_use]
 pub fn uppercase_ascii_watermark(bytes: usize, seed: u64) -> Watermark {
     let mut rng = SplitMix64::new(seed);

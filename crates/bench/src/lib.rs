@@ -29,3 +29,4 @@ pub mod json;
 pub mod microbench;
 pub mod output;
 pub mod paper;
+pub mod suite;

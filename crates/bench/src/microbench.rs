@@ -8,7 +8,14 @@
 //! simulation crates, where nondeterminism would corrupt experiments, not
 //! from benchmark infrastructure whose entire job is timing.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+use flashmark_nor::interface::{BulkStress, FlashInterface, ImprintTiming};
+use flashmark_nor::{FlashController, FlashGeometry, FlashTimings, SegmentAddr};
+use flashmark_physics::{Micros, PhysicsParams};
+
+use crate::impl_to_json;
 
 /// One benchmark group: a named collection of timed closures.
 #[derive(Debug)]
@@ -100,6 +107,208 @@ impl Bench {
     }
 }
 
+// ------------------------------------------------ runtime baseline -------
+
+/// One named runtime measurement of the committed `BENCH_runtime.json`
+/// baseline: a `kernel/*` micro-benchmark or an `experiment/*` wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeEntry {
+    /// Entry name, e.g. `kernel/read_segment` or `experiment/fig09`.
+    pub name: String,
+    /// Wall-clock seconds for one run of the unit.
+    pub wall_s: f64,
+    /// Throughput: units (trials or kernel iterations) per second.
+    pub trials_per_s: f64,
+}
+
+/// The `BENCH_runtime.json` artifact: wall time and throughput per kernel
+/// and per experiment, written by `run_all` and compared by `perf_smoke`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeReport {
+    /// All entries, in emission order.
+    pub entries: Vec<RuntimeEntry>,
+}
+
+impl_to_json!(RuntimeEntry {
+    name,
+    wall_s,
+    trials_per_s
+});
+impl_to_json!(RuntimeReport { entries });
+
+impl RuntimeReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one entry; `units` is the trial/iteration count behind
+    /// `wall_s` (throughput is derived from it).
+    pub fn push(&mut self, name: &str, wall_s: f64, units: usize) {
+        self.entries.push(RuntimeEntry {
+            name: name.to_string(),
+            wall_s,
+            trials_per_s: if wall_s > 0.0 {
+                units as f64 / wall_s
+            } else {
+                f64::INFINITY
+            },
+        });
+    }
+
+    /// Looks an entry up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&RuntimeEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        use crate::json::ToJson as _;
+        std::fs::write(path, self.to_json().pretty())
+    }
+
+    /// Parses a report previously written by [`RuntimeReport::write`]. The
+    /// parser is line-oriented and only understands this module's own
+    /// output shape, which is all the perf gate needs.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for a malformed file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut entries = Vec::new();
+        let (mut name, mut wall_s): (Option<String>, Option<f64>) = (None, None);
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(v) = line.strip_prefix("\"name\": ") {
+                name = Some(v.trim_matches('"').to_string());
+            } else if let Some(v) = line.strip_prefix("\"wall_s\": ") {
+                wall_s = Some(v.parse().map_err(|_| bad("bad wall_s"))?);
+            } else if let Some(v) = line.strip_prefix("\"trials_per_s\": ") {
+                let trials_per_s = v.parse().map_err(|_| bad("bad trials_per_s"))?;
+                entries.push(RuntimeEntry {
+                    name: name.take().ok_or_else(|| bad("trials_per_s before name"))?,
+                    wall_s: wall_s.take().ok_or_else(|| bad("missing wall_s"))?,
+                    trials_per_s,
+                });
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Entries of `current` whose wall time regressed more than `factor`×
+    /// against this baseline, restricted to names starting with `prefix`.
+    /// Entries absent from the baseline are new, not regressions.
+    #[must_use]
+    pub fn regressions(&self, current: &Self, factor: f64, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for cur in &current.entries {
+            if !cur.name.starts_with(prefix) {
+                continue;
+            }
+            if let Some(base) = self.get(&cur.name) {
+                if base.wall_s > 0.0 && cur.wall_s > base.wall_s * factor {
+                    out.push(format!(
+                        "{}: {} vs baseline {} ({:.2}x > {factor}x budget)",
+                        cur.name,
+                        fmt_time(cur.wall_s),
+                        fmt_time(base.wall_s),
+                        cur.wall_s / base.wall_s
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the segment-kernel micro-benchmarks and reports them as
+/// `kernel/*` runtime entries — the perf-smoke half of
+/// `BENCH_runtime.json`.
+///
+/// # Panics
+///
+/// Panics if the simulated controller rejects one of the kernel
+/// operations — impossible for the fixed in-range geometry used here.
+#[must_use]
+pub fn kernel_suite() -> RuntimeReport {
+    let bench = Bench::new("kernel").samples(10);
+    let seg = SegmentAddr::new(0);
+    let chip = || {
+        let mut c = FlashController::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(2),
+            FlashTimings::msp430(),
+            0xBE7C,
+        );
+        c.trace_mut().set_capacity(0);
+        c
+    };
+    let pattern: Vec<u16> = (0..256u32).map(|w| (w as u16).rotate_left(3)).collect();
+    let mut report = RuntimeReport::new();
+    let mut add = |name: &str, stats: BenchStats| {
+        report.push(&format!("kernel/{name}"), stats.median_s, 1);
+    };
+
+    add(
+        "read_segment",
+        bench.bench_with_setup(
+            "read_segment",
+            || {
+                let mut c = chip();
+                c.program_block(seg, &pattern).expect("program");
+                c
+            },
+            |mut c| c.read_block(seg).expect("read"),
+        ),
+    );
+    add(
+        "program_segment",
+        bench.bench_with_setup("program_segment", chip, |mut c| {
+            c.program_block(seg, &pattern).expect("program");
+        }),
+    );
+    add(
+        "partial_erase",
+        bench.bench_with_setup(
+            "partial_erase",
+            || {
+                let mut c = chip();
+                c.program_block(seg, &pattern).expect("program");
+                c
+            },
+            |mut c| c.partial_erase(seg, Micros::new(30.0)).expect("erase"),
+        ),
+    );
+    add(
+        "erase_until_clean",
+        bench.bench_with_setup(
+            "erase_until_clean",
+            || {
+                let mut c = chip();
+                c.program_block(seg, &pattern).expect("program");
+                c
+            },
+            |mut c| c.erase_until_clean(seg).expect("erase"),
+        ),
+    );
+    add(
+        "bulk_stress_5k",
+        bench.bench_with_setup("bulk_stress_5k", chip, |mut c| {
+            c.bulk_imprint(seg, &pattern, 5_000, ImprintTiming::Accelerated)
+                .expect("stress")
+        }),
+    );
+    report
+}
+
 fn fmt_time(seconds: f64) -> String {
     if seconds >= 1.0 {
         format!("{seconds:.3} s")
@@ -129,6 +338,30 @@ mod tests {
         assert!(s.min_s > 0.0);
         assert!(s.min_s <= s.median_s);
         assert!(s.median_s <= s.mean_s * 3.0);
+    }
+
+    #[test]
+    fn runtime_report_roundtrips_and_gates() {
+        let mut base = RuntimeReport::new();
+        base.push("kernel/read_segment", 0.010, 1);
+        base.push("experiment/fig09", 2.0, 6);
+        let dir = std::env::temp_dir().join("flashmark_runtime_report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("rt_{}.json", std::process::id()));
+        base.write(&path).unwrap();
+        let loaded = RuntimeReport::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.get("experiment/fig09").unwrap().trials_per_s, 3.0);
+
+        let mut current = RuntimeReport::new();
+        current.push("kernel/read_segment", 0.030, 1); // 3x slower
+        current.push("kernel/brand_new", 9.0, 1); // no baseline: not a regression
+        current.push("experiment/fig09", 9.0, 6); // outside the kernel/ prefix
+        let regs = loaded.regressions(&current, 2.0, "kernel/");
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("kernel/read_segment"));
+        assert!(loaded.regressions(&current, 4.0, "kernel/").is_empty());
     }
 
     #[test]

@@ -86,7 +86,19 @@ impl Table {
 ///
 /// I/O or serialization errors.
 pub fn write_json<T: ToJson>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let path = results_dir().join(format!("{name}.json"));
+    write_json_in(&results_dir(), name, value)
+}
+
+/// Serializes an experiment result as pretty JSON into an explicit
+/// directory (created if missing) — the suite runner uses this to point
+/// different runs at different artifact directories.
+///
+/// # Errors
+///
+/// I/O or serialization errors.
+pub fn write_json_in<T: ToJson>(dir: &Path, name: &str, value: &T) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
     fs::write(&path, value.to_json().pretty())?;
     Ok(path)
 }

@@ -179,8 +179,10 @@ pub fn analyze_segment_soft<F: FlashInterface>(
     let cells = geometry.cells_per_segment();
     let mut votes = vec![MajorityVote::new(); cells];
     for _ in 0..reads {
-        for (w, word) in geometry.segment_words(seg).enumerate() {
-            let v = flash.read_word(word)?;
+        // Batched segment read: bit-identical to a word-by-word loop, but
+        // implementations may run the physics sweep in one pass.
+        let words = flash.read_block(seg)?;
+        for (w, v) in words.into_iter().enumerate() {
             for bit in 0..16 {
                 votes[w * 16 + bit].push(v & (1 << bit) != 0);
             }

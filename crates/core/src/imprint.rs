@@ -19,7 +19,10 @@
 //! [`Imprinter::imprint`] is the closed-form simulator fast path (requires
 //! [`BulkStress`]); [`Imprinter::imprint_via_cycles`] is the faithful loop
 //! that any [`FlashInterface`] (including real hardware) can run. Tests
-//! assert the two leave identical wear.
+//! assert the two leave identical wear. The fast path applies all `NPE`
+//! cycles of wear per cell in O(cells) — independent of `NPE` — via the
+//! array's batched bulk-stress kernel, which is why the trial engine can
+//! afford a fresh per-trial chip for every stress level.
 
 use flashmark_nor::interface::{BulkStress, FlashInterface, ImprintTiming};
 use flashmark_nor::SegmentAddr;

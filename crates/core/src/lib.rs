@@ -76,7 +76,9 @@ pub use imprint::{ImprintReport, Imprinter};
 pub use layout::{ReplicaLayout, SegmentLayout};
 pub use metrics::ExtractionErrors;
 pub use multi::{MultiExtraction, MultiSegment};
-pub use recipe::{derive_recipe, ExtractionRecipe, FamilyCharacterization};
+pub use recipe::{
+    characterize_sample, derive_recipe, fuse_windows, ExtractionRecipe, FamilyCharacterization,
+};
 pub use sanitized::{
     characterize_sanitized, extract_sanitized, imprint_sanitized, imprint_via_cycles_sanitized,
     run_sanitized, SanitizedOutcome,

@@ -108,26 +108,70 @@ pub fn derive_recipe<F: FlashInterface + BulkStress>(
     replicas: usize,
     reads: usize,
 ) -> Result<FamilyCharacterization, CoreError> {
-    if samples.is_empty() {
+    let mut per_chip = Vec::with_capacity(samples.len());
+    for chip in samples.iter_mut() {
+        per_chip.push(characterize_sample(
+            chip,
+            fresh_seg,
+            scratch_seg,
+            reference_stress_kcycles,
+            sweep,
+            window_slack,
+            reads,
+        )?);
+    }
+    fuse_windows(per_chip, reference_stress_kcycles, replicas, reads)
+}
+
+/// The per-chip half of [`derive_recipe`]: stress the scratch segment,
+/// characterize both segments, and select this chip's window. Each chip is
+/// independent, so callers may run this stage on sample chips in parallel
+/// and pass the windows (in chip order) to [`fuse_windows`] — the result is
+/// identical to the serial [`derive_recipe`].
+///
+/// # Errors
+///
+/// Flash/configuration errors.
+pub fn characterize_sample<F: FlashInterface + BulkStress>(
+    chip: &mut F,
+    fresh_seg: SegmentAddr,
+    scratch_seg: SegmentAddr,
+    reference_stress_kcycles: f64,
+    sweep: &SweepSpec,
+    window_slack: usize,
+    reads: usize,
+) -> Result<WindowChoice, CoreError> {
+    let words = chip.geometry().words_per_segment();
+    chip.bulk_imprint(
+        scratch_seg,
+        &vec![0u16; words],
+        (reference_stress_kcycles * 1000.0) as u64,
+        ImprintTiming::Accelerated,
+    )?;
+    chip.erase_segment(scratch_seg)?;
+    let fresh = characterize_segment(chip, fresh_seg, sweep, reads)?;
+    let worn = characterize_segment(chip, scratch_seg, sweep, reads)?;
+    select_t_pew(&fresh, &worn, window_slack)
+}
+
+/// The fusion half of [`derive_recipe`]: intersect the per-chip windows and
+/// clamp the mean optimum into the intersection.
+///
+/// # Errors
+///
+/// [`CoreError::Config`] when `per_chip` is empty or the windows do not
+/// overlap (an inconsistent family, which must not be papered over).
+pub fn fuse_windows(
+    per_chip: Vec<WindowChoice>,
+    reference_stress_kcycles: f64,
+    replicas: usize,
+    reads: usize,
+) -> Result<FamilyCharacterization, CoreError> {
+    if per_chip.is_empty() {
         return Err(CoreError::Config(
             "family characterization needs at least one sample chip",
         ));
     }
-    let mut per_chip = Vec::with_capacity(samples.len());
-    for chip in samples.iter_mut() {
-        let words = chip.geometry().words_per_segment();
-        chip.bulk_imprint(
-            scratch_seg,
-            &vec![0u16; words],
-            (reference_stress_kcycles * 1000.0) as u64,
-            ImprintTiming::Accelerated,
-        )?;
-        chip.erase_segment(scratch_seg)?;
-        let fresh = characterize_segment(chip, fresh_seg, sweep, reads)?;
-        let worn = characterize_segment(chip, scratch_seg, sweep, reads)?;
-        per_chip.push(select_t_pew(&fresh, &worn, window_slack)?);
-    }
-
     let mut lo = f64::NEG_INFINITY;
     let mut hi = f64::INFINITY;
     let mut sum = 0.0;

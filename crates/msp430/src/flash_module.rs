@@ -103,6 +103,10 @@ impl FlashInterface for Msp430Flash {
         self.main.read_word(word)
     }
 
+    fn read_block(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
+        self.main.read_block(seg)
+    }
+
     fn program_word(&mut self, word: WordAddr, value: u16) -> Result<(), NorError> {
         self.main.program_word(word, value)
     }

@@ -8,12 +8,13 @@
 use std::collections::HashMap;
 
 use flashmark_physics::cell::{sense, CellState, CellStatics};
-use flashmark_physics::erase::{apply_erase, t_full_us};
+use flashmark_physics::erase::{apply_erase_cached, t_cross_us_cached, t_full_us_cached};
 use flashmark_physics::noise::PulseNoise;
 use flashmark_physics::program::apply_program;
 use flashmark_physics::retention::apply_bake;
 use flashmark_physics::rng::SplitMix64;
 use flashmark_physics::wear::bulk_pe_stress;
+use flashmark_physics::EraseDistCache;
 use flashmark_physics::{Micros, PhysicsParams};
 
 use crate::addr::{SegmentAddr, WordAddr};
@@ -69,6 +70,7 @@ pub struct FlashArray {
     segments: HashMap<u32, SegmentCells>,
     op_rng: SplitMix64,
     temp_c: f64,
+    dist_cache: EraseDistCache,
 }
 
 impl FlashArray {
@@ -82,6 +84,7 @@ impl FlashArray {
             segments: HashMap::new(),
             op_rng: SplitMix64::new(flashmark_physics::rng::mix2(chip_seed, 0x0505_0505)),
             temp_c: 25.0,
+            dist_cache: EraseDistCache::new(),
         }
     }
 
@@ -130,6 +133,85 @@ impl FlashArray {
         self.segment_cells(seg)
     }
 
+    /// Splits the borrow of `self` into the disjoint parts an operation
+    /// needs — parameters, the (lazily materialized) segment cells, the op
+    /// RNG stream, and the erase-distribution cache — so hot paths never
+    /// clone `PhysicsParams` (whose calibration tables are `Vec`-backed and
+    /// would cost two heap allocations per operation).
+    fn op_context(
+        &mut self,
+        seg: SegmentAddr,
+    ) -> (
+        &PhysicsParams,
+        &mut SegmentCells,
+        &mut SplitMix64,
+        &mut EraseDistCache,
+    ) {
+        let n = self.geometry.cells_per_segment();
+        let base_cell = seg.index() as u64 * n as u64;
+        let Self {
+            params,
+            segments,
+            chip_seed,
+            op_rng,
+            dist_cache,
+            ..
+        } = self;
+        let cells = segments
+            .entry(seg.index())
+            .or_insert_with(|| SegmentCells::materialize(params, *chip_seed, base_cell, n));
+        (params, cells, op_rng, dist_cache)
+    }
+
+    /// Senses the 16 cells of one word starting at cell `offset`.
+    fn sense_word(
+        params: &PhysicsParams,
+        cells: &SegmentCells,
+        offset: usize,
+        rng: &mut SplitMix64,
+    ) -> u16 {
+        let mut value = 0u16;
+        for (bit, state) in cells.states[offset..offset + WORD_BITS].iter().enumerate() {
+            if sense(params, state, rng) {
+                value |= 1 << bit;
+            }
+        }
+        value
+    }
+
+    /// Programs the 0-bits of `value` into the word at cell `offset`,
+    /// after the strict overwrite check. `word_index` is only for the error.
+    fn program_word_cells(
+        params: &PhysicsParams,
+        cells: &mut SegmentCells,
+        offset: usize,
+        word_index: u32,
+        value: u16,
+        strict: bool,
+        rng: &mut SplitMix64,
+    ) -> Result<(), NorError> {
+        if strict {
+            for bit in 0..WORD_BITS {
+                let wants_one = value & (1 << bit) != 0;
+                let is_zero = !cells.states[offset + bit].ideal_bit(params);
+                if wants_one && is_zero {
+                    return Err(NorError::OverwriteWithoutErase { word: word_index });
+                }
+            }
+        }
+        for bit in 0..WORD_BITS {
+            if value & (1 << bit) == 0 {
+                apply_program(
+                    params,
+                    &cells.statics[offset + bit],
+                    &mut cells.states[offset + bit],
+                    rng,
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Senses one word with read noise (one fresh noise draw per bit).
     ///
     /// # Errors
@@ -141,23 +223,38 @@ impl FlashArray {
         let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
         // Split the op stream first to appease the borrow checker.
         let mut rng = self.op_rng.fork(word.index() as u64);
-        let params = self.params.clone();
-        let cells = self.segment_cells(seg);
-        let mut value = 0u16;
-        for bit in 0..WORD_BITS {
-            if sense(&params, &cells.states[offset + bit], &mut rng) {
-                value |= 1 << bit;
-            }
+        let (params, cells, _, _) = self.op_context(seg);
+        Ok(Self::sense_word(params, cells, offset, &mut rng))
+    }
+
+    /// Senses every word of a segment in one sweep (the bulk-read kernel).
+    ///
+    /// RNG consumption and results are bit-identical to calling
+    /// [`FlashArray::read_word`] on each word of the segment in order; the
+    /// batched form pays the parameter/segment lookup once instead of per
+    /// word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
+    pub fn read_segment_words(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
+        self.geometry.check_segment(seg)?;
+        let words = self.geometry.words_per_segment();
+        let base = self.geometry.first_word(seg);
+        let (params, cells, op_rng, _) = self.op_context(seg);
+        let mut out = Vec::with_capacity(words);
+        for w in 0..words {
+            let mut rng = op_rng.fork(base.offset(w as u32).index() as u64);
+            out.push(Self::sense_word(params, cells, w * WORD_BITS, &mut rng));
         }
-        Ok(value)
+        Ok(out)
     }
 
     /// Noise-free logical value of every cell of a segment (ground truth for
     /// experiments; not reachable through the digital interface).
     pub fn ideal_bits(&mut self, seg: SegmentAddr) -> Vec<bool> {
-        let params = self.params.clone();
-        let cells = self.segment_cells(seg);
-        cells.states.iter().map(|s| s.ideal_bit(&params)).collect()
+        let (params, cells, _, _) = self.op_context(seg);
+        cells.states.iter().map(|s| s.ideal_bit(params)).collect()
     }
 
     /// Programs the 0-bits of `value` into a word (flash semantics: a
@@ -181,26 +278,50 @@ impl FlashArray {
         let seg = self.geometry.segment_of(word);
         let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
         let mut rng = self.op_rng.fork(0x9806_0000 ^ word.index() as u64);
-        let params = self.params.clone();
-        let cells = self.segment_cells(seg);
-        if strict {
-            for bit in 0..WORD_BITS {
-                let wants_one = value & (1 << bit) != 0;
-                let is_zero = !cells.states[offset + bit].ideal_bit(&params);
-                if wants_one && is_zero {
-                    return Err(NorError::OverwriteWithoutErase { word: word.index() });
-                }
-            }
+        let (params, cells, _, _) = self.op_context(seg);
+        Self::program_word_cells(params, cells, offset, word.index(), value, strict, &mut rng)
+    }
+
+    /// Programs every word of a segment in one sweep (the bulk-program
+    /// kernel behind block programming).
+    ///
+    /// RNG consumption, cell updates, and errors are bit-identical to
+    /// calling [`FlashArray::program_word`] on each word in order — in
+    /// particular, a strict-mode overwrite error leaves the words before it
+    /// programmed, exactly like the word-by-word loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`],
+    /// [`NorError::BlockLengthMismatch`], or (strict mode)
+    /// [`NorError::OverwriteWithoutErase`].
+    pub fn program_segment_words(
+        &mut self,
+        seg: SegmentAddr,
+        values: &[u16],
+        strict: bool,
+    ) -> Result<(), NorError> {
+        self.geometry.check_segment(seg)?;
+        if values.len() != self.geometry.words_per_segment() {
+            return Err(NorError::BlockLengthMismatch {
+                got: values.len(),
+                expected: self.geometry.words_per_segment(),
+            });
         }
-        for bit in 0..WORD_BITS {
-            if value & (1 << bit) == 0 {
-                apply_program(
-                    &params,
-                    &cells.statics[offset + bit],
-                    &mut cells.states[offset + bit],
-                    &mut rng,
-                );
-            }
+        let base = self.geometry.first_word(seg);
+        let (params, cells, op_rng, _) = self.op_context(seg);
+        for (w, &value) in values.iter().enumerate() {
+            let word_index = base.offset(w as u32).index();
+            let mut rng = op_rng.fork(0x9806_0000 ^ word_index as u64);
+            Self::program_word_cells(
+                params,
+                cells,
+                w * WORD_BITS,
+                word_index,
+                value,
+                strict,
+                &mut rng,
+            )?;
         }
         Ok(())
     }
@@ -215,12 +336,11 @@ impl FlashArray {
     /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn program_pulse(&mut self, seg: SegmentAddr, t_pp: Micros) -> Result<(), NorError> {
         self.geometry.check_segment(seg)?;
-        let params = self.params.clone();
-        let mut rng = self.op_rng.fork(0x9A27 ^ u64::from(seg.index()));
-        let cells = self.segment_cells(seg);
+        let (params, cells, op_rng, _) = self.op_context(seg);
+        let mut rng = op_rng.fork(0x9A27 ^ u64::from(seg.index()));
         for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
             flashmark_physics::program::apply_partial_program(
-                &params,
+                params,
                 st,
                 state,
                 t_pp.get(),
@@ -240,11 +360,10 @@ impl FlashArray {
     /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn erase_pulse(&mut self, seg: SegmentAddr, t_pe: Micros) -> Result<bool, NorError> {
         self.geometry.check_segment(seg)?;
-        let params = self.params.clone();
-        let pulse = PulseNoise::draw(&params, &mut self.op_rng);
-        let temp = flashmark_physics::erase::erase_temp_factor(&params, self.temp_c);
+        let temp = flashmark_physics::erase::erase_temp_factor(&self.params, self.temp_c);
         let base_cell = seg.index() as u64 * self.geometry.cells_per_segment() as u64;
-        let cells = self.segment_cells(seg);
+        let (params, cells, op_rng, dist_cache) = self.op_context(seg);
+        let pulse = PulseNoise::draw(params, op_rng);
         let mut all_done = true;
         for (i, (st, state)) in cells
             .statics
@@ -252,8 +371,8 @@ impl FlashArray {
             .zip(cells.states.iter_mut())
             .enumerate()
         {
-            let eff = pulse.effective_us(&params, st, base_cell + i as u64, t_pe.get()) * temp;
-            let out = apply_erase(&params, st, state, eff);
+            let eff = pulse.effective_us(params, st, base_cell + i as u64, t_pe.get()) * temp;
+            let out = apply_erase_cached(params, st, state, eff, dist_cache);
             all_done &= out.completed;
         }
         Ok(all_done)
@@ -283,22 +402,58 @@ impl FlashArray {
     /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn erase_completion_time(&mut self, seg: SegmentAddr) -> Result<Micros, NorError> {
         self.geometry.check_segment(seg)?;
-        let params = self.params.clone();
-        let cells = self.segment_cells(seg);
+        let (params, cells, _, dist_cache) = self.op_context(seg);
         let worst = cells
             .statics
             .iter()
             .zip(cells.states.iter())
             .map(|(st, state)| {
-                let t_full = t_full_us(&params, st, state);
-                let vth_prog = state.vth_prog_now(&params, st);
-                let vth_end = state.vth_erased_now(&params, st);
+                let t_full = t_full_us_cached(params, st, state, dist_cache);
+                let vth_prog = state.vth_prog_now(params, st);
+                let vth_end = state.vth_erased_now(params, st);
                 let span = (vth_prog - vth_end).max(1e-9);
                 let remaining = ((state.vth - vth_end) / span).clamp(0.0, 1.0);
                 t_full * remaining
             })
             .fold(0.0f64, f64::max);
         Ok(Micros::new(worst))
+    }
+
+    /// Worst-case read-reference crossing time (µs) over a segment's cells
+    /// at *hypothetical* per-cell wear: cells whose pattern bit is 0 are
+    /// evaluated at `stressed_wear`, the rest at `spared_wear`. This is the
+    /// early-exit-erase estimator used by the accelerated imprint schedule;
+    /// the calibration lookups go through the erase-distribution cache, so
+    /// repeated sweeps over the same wear levels are cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] or
+    /// [`NorError::BlockLengthMismatch`].
+    pub fn worst_t_cross_us(
+        &mut self,
+        seg: SegmentAddr,
+        pattern: &[u16],
+        stressed_wear: f64,
+        spared_wear: f64,
+    ) -> Result<f64, NorError> {
+        self.geometry.check_segment(seg)?;
+        if pattern.len() != self.geometry.words_per_segment() {
+            return Err(NorError::BlockLengthMismatch {
+                got: pattern.len(),
+                expected: self.geometry.words_per_segment(),
+            });
+        }
+        let (params, cells, _, dist_cache) = self.op_context(seg);
+        let mut worst: f64 = 0.0;
+        for (chunk, &value) in cells.statics.chunks_exact(WORD_BITS).zip(pattern) {
+            for (bit, st) in chunk.iter().enumerate() {
+                let stressed = value & (1 << bit) == 0;
+                let wear = if stressed { stressed_wear } else { spared_wear };
+                worst = worst.max(t_cross_us_cached(params, st, wear, dist_cache));
+            }
+        }
+        Ok(worst)
     }
 
     /// Applies `cycles` P/E cycles of `pattern` to a segment in closed form
@@ -325,20 +480,15 @@ impl FlashArray {
                 expected: self.geometry.words_per_segment(),
             });
         }
-        let params = self.params.clone();
-        let cells = self.segment_cells(seg);
-        for (w, &value) in pattern.iter().enumerate() {
-            for bit in 0..WORD_BITS {
-                let idx = w * WORD_BITS + bit;
+        let (params, cells, _, _) = self.op_context(seg);
+        // Struct-of-arrays sweep: walk the statics/states vectors in word
+        // chunks instead of re-indexing per bit.
+        let statics = cells.statics.chunks_exact(WORD_BITS);
+        let states = cells.states.chunks_exact_mut(WORD_BITS);
+        for ((st_chunk, state_chunk), &value) in statics.zip(states).zip(pattern) {
+            for (bit, (st, state)) in st_chunk.iter().zip(state_chunk.iter_mut()).enumerate() {
                 let programmed = value & (1 << bit) == 0;
-                bulk_pe_stress(
-                    &params,
-                    &cells.statics[idx],
-                    &mut cells.states[idx],
-                    cycles as f64,
-                    programmed,
-                    programmed,
-                );
+                bulk_pe_stress(params, st, state, cycles as f64, programmed, programmed);
             }
         }
         Ok(())
@@ -349,10 +499,12 @@ impl FlashArray {
     /// Only materialized segments are affected — untouched segments hold no
     /// charge anyway.
     pub fn bake(&mut self, hours: f64, temp_c: f64) {
-        let params = self.params.clone();
-        for cells in self.segments.values_mut() {
+        let Self {
+            params, segments, ..
+        } = self;
+        for cells in segments.values_mut() {
             for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
-                apply_bake(&params, st, state, hours, temp_c);
+                apply_bake(params, st, state, hours, temp_c);
             }
         }
     }
@@ -602,6 +754,86 @@ mod tests {
             ones_hot > ones_cold + 400,
             "hot {ones_hot} vs cold {ones_cold}: temperature must accelerate erase"
         );
+    }
+
+    #[test]
+    fn batched_read_matches_word_loop_bitwise() {
+        let mut a = array();
+        let mut b = array();
+        let seg = SegmentAddr::new(3);
+        for arr in [&mut a, &mut b] {
+            for w in arr.geometry().segment_words(seg) {
+                arr.program_word(w, (w.index() as u16).rotate_left(3), false)
+                    .unwrap();
+            }
+            // A partial erase puts many cells near the reference so read
+            // noise actually matters to the compared values.
+            arr.erase_pulse(seg, Micros::new(20.5)).unwrap();
+        }
+        let batched = a.read_segment_words(seg).unwrap();
+        let looped: Vec<u16> = b
+            .geometry()
+            .segment_words(seg)
+            .map(|w| b.read_word(w).unwrap())
+            .collect();
+        assert_eq!(batched, looped);
+        // And the op-RNG streams are in the same state afterwards.
+        assert_eq!(a.read_word(WordAddr::new(0)), b.read_word(WordAddr::new(0)));
+    }
+
+    #[test]
+    fn batched_program_matches_word_loop_bitwise() {
+        let mut a = array();
+        let mut b = array();
+        let seg = SegmentAddr::new(2);
+        let values: Vec<u16> = (0..256).map(|i| !(i as u16).wrapping_mul(0x1357)).collect();
+        a.program_segment_words(seg, &values, true).unwrap();
+        for (w, &v) in b.geometry().segment_words(seg).zip(&values) {
+            b.program_word(w, v, true).unwrap();
+        }
+        assert_eq!(a.ideal_bits(seg), b.ideal_bits(seg));
+        let sa = a.segment(seg).states().to_vec();
+        let sb = b.segment(seg).states().to_vec();
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.vth.to_bits(), y.vth.to_bits());
+            assert_eq!(x.wear_cycles.to_bits(), y.wear_cycles.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_program_validates_length_and_strictness() {
+        let mut a = array();
+        let seg = SegmentAddr::new(1);
+        assert!(matches!(
+            a.program_segment_words(seg, &[0u16; 3], false),
+            Err(NorError::BlockLengthMismatch {
+                got: 3,
+                expected: 256
+            })
+        ));
+        a.program_segment_words(seg, &vec![0u16; 256], true)
+            .unwrap();
+        assert!(matches!(
+            a.program_segment_words(seg, &vec![0xFFFFu16; 256], true),
+            Err(NorError::OverwriteWithoutErase { .. })
+        ));
+    }
+
+    #[test]
+    fn worst_t_cross_tracks_stress_pattern() {
+        let mut a = array();
+        let seg = SegmentAddr::new(0);
+        let all_stressed = vec![0x0000u16; 256];
+        let fresh = a.worst_t_cross_us(seg, &all_stressed, 0.0, 0.0).unwrap();
+        let worn = a
+            .worst_t_cross_us(seg, &all_stressed, 60_000.0, 0.0)
+            .unwrap();
+        assert!(fresh > 0.0);
+        assert!(worn > fresh * 2.0, "worn {worn} vs fresh {fresh}");
+        assert!(matches!(
+            a.worst_t_cross_us(seg, &[0u16; 2], 0.0, 0.0),
+            Err(NorError::BlockLengthMismatch { .. })
+        ));
     }
 
     #[test]

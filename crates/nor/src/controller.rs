@@ -4,7 +4,6 @@
 //! real flash module has. All Flashmark algorithms drive this type through
 //! the [`FlashInterface`] trait.
 
-use flashmark_physics::erase::t_cross_us;
 use flashmark_physics::{Micros, PhysicsParams, Seconds};
 
 use crate::addr::{SegmentAddr, WordAddr};
@@ -218,31 +217,24 @@ impl FlashController {
         seg: SegmentAddr,
         pattern: &[u16],
         wear_cycles: f64,
-    ) -> Micros {
-        let params = self.array.params().clone();
-        let full_ratio = {
+    ) -> Result<Micros, NorError> {
+        let (full_ratio, spared_wear) = {
+            let params = self.array.params();
             // Ratio of full-erase time to reference-crossing time, from the
             // nominal levels (identical for every cell to first order).
             let span_total = params.vth_programmed.mean - params.vth_erased.mean;
             let span_to_ref = params.vth_programmed.mean - params.vref.get();
-            (span_total / span_to_ref).max(1.0)
-        };
-        let cells = self.array.segment(seg);
-        let mut worst: f64 = 0.0;
-        for (i, st) in cells.statics().iter().enumerate() {
-            let word = i / crate::geometry::WORD_BITS;
-            let bit = i % crate::geometry::WORD_BITS;
-            let stressed = pattern[word] & (1 << bit) == 0;
             // Spared cells still accrue erase-only wear each cycle.
             let spared_ratio = params.wear.erase_only / (params.wear.program + params.wear.erase);
-            let w = if stressed {
-                wear_cycles
-            } else {
-                wear_cycles * spared_ratio
-            };
-            worst = worst.max(t_cross_us(&params, st, w));
-        }
-        Micros::new(worst * full_ratio)
+            (
+                (span_total / span_to_ref).max(1.0),
+                wear_cycles * spared_ratio,
+            )
+        };
+        let worst = self
+            .array
+            .worst_t_cross_us(seg, pattern, wear_cycles, spared_wear)?;
+        Ok(Micros::new(worst * full_ratio))
     }
 }
 
@@ -258,6 +250,24 @@ impl FlashInterface for FlashController {
         self.trace
             .record(self.clock.now(), FlashEvent::ReadWord { word });
         Ok(v)
+    }
+
+    fn read_block(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
+        let values = self.array.read_segment_words(seg)?;
+        self.counters.word_reads += values.len() as u64;
+        let base = self.geometry().first_word(seg);
+        // Per-word clock/trace updates in the same order as a word-by-word
+        // loop, so elapsed time stays float-identical to the legacy path.
+        for i in 0..values.len() {
+            self.clock.advance(self.timings.read_word);
+            self.trace.record(
+                self.clock.now(),
+                FlashEvent::ReadWord {
+                    word: base.offset(i as u32),
+                },
+            );
+        }
+        Ok(values)
     }
 
     fn program_word(&mut self, word: WordAddr, value: u16) -> Result<(), NorError> {
@@ -288,11 +298,8 @@ impl FlashInterface for FlashController {
         for row in 0..rows {
             self.charge_program_time(seg, row, per_row)?;
         }
-        let base = self.geometry().first_word(seg);
-        for (i, &v) in values.iter().enumerate() {
-            self.array
-                .program_word(base.offset(i as u32), v, self.strict_program)?;
-        }
+        self.array
+            .program_segment_words(seg, values, self.strict_program)?;
         self.clock.advance(self.timings.block_write(n));
         self.counters.block_programs += 1;
         self.trace
@@ -394,7 +401,7 @@ impl BulkStress for FlashController {
                 let mut erase_total = 0.0;
                 for s in 0..=SAMPLES {
                     let w = cycles as f64 * s as f64 / SAMPLES as f64;
-                    let est = self.early_exit_estimate(seg, pattern, w).get();
+                    let est = self.early_exit_estimate(seg, pattern, w)?.get();
                     // Round the estimate up to the polling grid and add the
                     // polling overhead the loop implementation would pay.
                     let step = self.poll_step.get();
@@ -558,6 +565,29 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(matches!(events[0].1, FlashEvent::EraseSegment { .. }));
         assert!(matches!(events[1].1, FlashEvent::PartialErase { .. }));
+    }
+
+    #[test]
+    fn read_block_matches_word_loop_including_clock() {
+        let mut a = controller();
+        let mut b = controller();
+        let seg = SegmentAddr::new(1);
+        for ctl in [&mut a, &mut b] {
+            ctl.program_all_zero(seg).unwrap();
+            ctl.partial_erase(seg, Micros::new(20.5)).unwrap();
+            ctl.trace_mut().set_record_reads(true);
+            ctl.trace_mut().enable();
+        }
+        let batched = a.read_block(seg).unwrap();
+        let looped: Vec<u16> = b
+            .geometry()
+            .segment_words(seg)
+            .map(|w| b.read_word(w).unwrap())
+            .collect();
+        assert_eq!(batched, looped);
+        assert_eq!(a.elapsed().get().to_bits(), b.elapsed().get().to_bits());
+        assert_eq!(a.counters().word_reads, b.counters().word_reads);
+        assert_eq!(a.trace().events(), b.trace().events());
     }
 
     #[test]

@@ -50,6 +50,23 @@ pub trait FlashInterface {
     /// Address, lock, or (strict mode) overwrite errors.
     fn program_word(&mut self, word: WordAddr, value: u16) -> Result<(), NorError>;
 
+    /// Reads every word of a segment in one burst.
+    ///
+    /// Semantically identical to reading each word of the segment in order
+    /// with [`FlashInterface::read_word`] (the default implementation does
+    /// exactly that); implementations may batch the underlying physics
+    /// sweep for speed, as long as results stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Address or controller-state errors ([`NorError`]).
+    fn read_block(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
+        self.geometry()
+            .segment_words(seg)
+            .map(|w| self.read_word(w))
+            .collect()
+    }
+
     /// Programs a whole segment in block-write mode (faster per word).
     ///
     /// # Errors
@@ -88,16 +105,14 @@ pub trait FlashInterface {
 
 /// Extension helpers over any [`FlashInterface`].
 pub trait FlashInterfaceExt: FlashInterface {
-    /// Reads every word of a segment once.
+    /// Reads every word of a segment once (delegates to the possibly-batched
+    /// [`FlashInterface::read_block`]).
     ///
     /// # Errors
     ///
     /// Propagates the first read error.
     fn read_segment(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
-        self.geometry()
-            .segment_words(seg)
-            .map(|w| self.read_word(w))
-            .collect()
+        self.read_block(seg)
     }
 
     /// Programs every word of a segment to 0 (all cells programmed) using
@@ -123,6 +138,10 @@ impl<T: FlashInterface + ?Sized> FlashInterface for &mut T {
 
     fn read_word(&mut self, word: WordAddr) -> Result<u16, NorError> {
         (**self).read_word(word)
+    }
+
+    fn read_block(&mut self, seg: SegmentAddr) -> Result<Vec<u16>, NorError> {
+        (**self).read_block(seg)
     }
 
     fn program_word(&mut self, word: WordAddr, value: u16) -> Result<(), NorError> {

@@ -64,6 +64,10 @@ pub struct Trace {
     record_reads: bool,
     capacity: usize,
     dropped: u64,
+    /// Precomputed `enabled && capacity > 0`: [`Trace::record`] tests only
+    /// this one always-false-on-hot-paths flag, so a disabled or capacity-0
+    /// trace costs a single well-predicted branch per operation.
+    armed: bool,
 }
 
 impl Trace {
@@ -76,14 +80,28 @@ impl Trace {
         }
     }
 
+    /// Creates a trace that can never record (capacity 0): the cheapest
+    /// possible configuration for benchmark hot loops. Enabling it later is
+    /// a no-op until [`Trace::set_capacity`] grants room.
+    #[must_use]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
     /// Enables recording.
     pub fn enable(&mut self) {
         self.enabled = true;
+        self.rearm();
     }
 
     /// Disables recording (events already captured are kept).
     pub fn disable(&mut self) {
         self.enabled = false;
+        self.rearm();
+    }
+
+    fn rearm(&mut self) {
+        self.armed = self.enabled && self.capacity > 0;
     }
 
     /// Whether recording is enabled.
@@ -107,6 +125,7 @@ impl Trace {
             self.events.drain(..excess);
             self.dropped += excess as u64;
         }
+        self.rearm();
     }
 
     /// The event capacity.
@@ -116,10 +135,19 @@ impl Trace {
     }
 
     /// Records an event at simulated time `at`.
+    ///
+    /// When the trace is disarmed (disabled, or capacity 0) this is a
+    /// single branch — no event inspection, no drop accounting.
+    #[inline]
     pub fn record(&mut self, at: Seconds, event: FlashEvent) {
-        if !self.enabled {
+        if !self.armed {
             return;
         }
+        self.record_armed(at, event);
+    }
+
+    #[cold]
+    fn record_armed(&mut self, at: Seconds, event: FlashEvent) {
         if matches!(event, FlashEvent::ReadWord { .. }) && !self.record_reads {
             return;
         }
@@ -210,6 +238,19 @@ mod tests {
         // Growing back does not resurrect anything.
         t.set_capacity(100);
         assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    fn off_trace_stays_silent_until_given_capacity() {
+        let mut t = Trace::off();
+        t.enable();
+        t.record(Seconds::new(0.0), FlashEvent::MassErase);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0, "capacity-0 fast path skips bookkeeping");
+        // Granting capacity (as the sanitizer's trace sync does) re-arms it.
+        t.set_capacity(16);
+        t.record(Seconds::new(0.0), FlashEvent::MassErase);
+        assert_eq!(t.events().len(), 1);
     }
 
     #[test]

@@ -6,8 +6,64 @@
 //! [`apply_erase`] advances a cell's threshold voltage through an erase pulse
 //! of a given effective duration (possibly aborted early — a *partial* erase).
 
+use crate::calibration::EraseCalibration;
 use crate::cell::{CellState, CellStatics};
 use crate::params::PhysicsParams;
+use crate::rng::mix64;
+use crate::variation::LogNormal;
+
+/// Number of slots in [`EraseDistCache`]; a power of two so the slot index
+/// is a mask, not a division.
+const DIST_CACHE_SLOTS: usize = 512;
+
+/// Sentinel for an empty cache slot. `f64::to_bits` of any *finite* wear
+/// value can never equal it (all-ones is a NaN bit pattern), and wear is
+/// finite by construction.
+const DIST_CACHE_EMPTY: u64 = u64::MAX;
+
+/// A direct-mapped memo for [`EraseCalibration::distribution`].
+///
+/// The per-pulse hot loop evaluates the calibration interpolation once per
+/// cell per pulse (4096 evaluations per pulse, up to 100 K pulses per
+/// imprint). On uniform-wear segments — every fresh chip, and any segment
+/// stressed by the closed-form bulk path — all cells share the same
+/// `kcycles` key after susceptibility scaling collapses (fresh cells have
+/// `k = 0` exactly), so a tiny cache removes the anchor scan entirely.
+/// Keys are exact `f64` bit patterns: a hit returns the *identical*
+/// [`LogNormal`], keeping cached and uncached paths bit-for-bit equal.
+#[derive(Debug, Clone)]
+pub struct EraseDistCache {
+    slots: Vec<(u64, LogNormal)>,
+}
+
+impl Default for EraseDistCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EraseDistCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: vec![(DIST_CACHE_EMPTY, LogNormal::new(1.0, 0.0)); DIST_CACHE_SLOTS],
+        }
+    }
+
+    /// `cal.distribution(kcycles)`, memoized on the exact bit pattern of
+    /// `kcycles`.
+    pub fn distribution(&mut self, cal: &EraseCalibration, kcycles: f64) -> LogNormal {
+        let key = kcycles.to_bits();
+        let slot = &mut self.slots[(mix64(key) as usize) & (DIST_CACHE_SLOTS - 1)];
+        if slot.0 == key {
+            return slot.1;
+        }
+        let dist = cal.distribution(kcycles);
+        *slot = (key, dist);
+        dist
+    }
+}
 
 /// Result of applying an erase pulse to one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +86,26 @@ pub fn t_cross_us(params: &PhysicsParams, statics: &CellStatics, wear_cycles: f6
     // Heterogeneous wear response: weak responders age at a fraction of the
     // applied stress (the source of the paper's bad→good extraction errors).
     let k = wear_cycles * statics.susceptibility / 1000.0;
-    let mut t = params.erase_cal.distribution(k).at(statics.erase_z);
+    t_cross_from_dist(params.erase_cal.distribution(k), statics, k)
+}
+
+/// [`t_cross_us`] with the calibration lookup memoized in `cache`.
+/// Bit-identical to the uncached version.
+#[must_use]
+pub fn t_cross_us_cached(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    wear_cycles: f64,
+    cache: &mut EraseDistCache,
+) -> f64 {
+    let k = wear_cycles * statics.susceptibility / 1000.0;
+    t_cross_from_dist(cache.distribution(&params.erase_cal, k), statics, k)
+}
+
+/// Shared tail of the `t_cross` computation once the calibration
+/// distribution for effective wear `k` is in hand.
+fn t_cross_from_dist(dist: LogNormal, statics: &CellStatics, k: f64) -> f64 {
+    let mut t = dist.at(statics.erase_z);
     if let Some(extra) = statics.straggler_extra {
         t *= 1.0 + extra;
     }
@@ -48,6 +123,29 @@ pub fn t_cross_us(params: &PhysicsParams, statics: &CellStatics, wear_cycles: f6
 #[must_use]
 pub fn t_full_us(params: &PhysicsParams, statics: &CellStatics, state: &CellState) -> f64 {
     let t_cross = t_cross_us(params, statics, state.wear_cycles);
+    t_full_from_t_cross(params, statics, state, t_cross)
+}
+
+/// [`t_full_us`] with the calibration lookup memoized in `cache`.
+/// Bit-identical to the uncached version.
+#[must_use]
+pub fn t_full_us_cached(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &CellState,
+    cache: &mut EraseDistCache,
+) -> f64 {
+    let t_cross = t_cross_us_cached(params, statics, state.wear_cycles, cache);
+    t_full_from_t_cross(params, statics, state, t_cross)
+}
+
+/// Shared tail of the `t_full` computation once `t_cross` is in hand.
+fn t_full_from_t_cross(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &CellState,
+    t_cross: f64,
+) -> f64 {
     let vth_prog = state.vth_prog_now(params, statics);
     let vth_end = state.vth_erased_now(params, statics);
     let span_to_ref = vth_prog - params.vref.get();
@@ -72,11 +170,36 @@ pub fn apply_erase(
     state: &mut CellState,
     effective_us: f64,
 ) -> EraseOutcome {
+    let t_full = t_full_us(params, statics, state);
+    apply_erase_with_t_full(params, statics, state, effective_us, t_full)
+}
+
+/// [`apply_erase`] with the calibration lookup memoized in `cache`.
+/// Bit-identical to the uncached version.
+pub fn apply_erase_cached(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    effective_us: f64,
+    cache: &mut EraseDistCache,
+) -> EraseOutcome {
+    let t_full = t_full_us_cached(params, statics, state, cache);
+    apply_erase_with_t_full(params, statics, state, effective_us, t_full)
+}
+
+/// Shared erase-pulse body once the cell's full-erase time is in hand.
+fn apply_erase_with_t_full(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    effective_us: f64,
+    t_full: f64,
+) -> EraseOutcome {
     debug_assert!(effective_us >= 0.0, "negative pulse duration");
     let was_programmed = !state.ideal_bit(params);
     let vth_prog = state.vth_prog_now(params, statics);
     let vth_end = state.vth_erased_now(params, statics);
-    let t_full = t_full_us(params, statics, state).max(1e-9);
+    let t_full = t_full.max(1e-9);
     let slope = (vth_prog - vth_end).max(0.0) / t_full; // volts per µs
 
     let start_vth = state.vth;
@@ -291,6 +414,34 @@ mod tests {
         let mut no_temp = params.clone();
         no_temp.erase_activation_energy_ev = 0.0;
         assert_eq!(erase_temp_factor(&no_temp, 125.0), 1.0);
+    }
+
+    #[test]
+    fn cached_paths_are_bit_identical_to_uncached() {
+        let params = PhysicsParams::msp430_like();
+        let mut cache = EraseDistCache::new();
+        for i in 0..512u64 {
+            let (statics, state) = programmed_cell(&params, 0xCACE, i);
+            // Mix of shared (0, 40k) and per-cell-unique wear keys so both
+            // hit and miss paths are exercised.
+            for w in [0.0, 40_000.0, 40_000.0 + i as f64] {
+                assert_eq!(
+                    t_cross_us(&params, &statics, w).to_bits(),
+                    t_cross_us_cached(&params, &statics, w, &mut cache).to_bits()
+                );
+            }
+            assert_eq!(
+                t_full_us(&params, &statics, &state).to_bits(),
+                t_full_us_cached(&params, &statics, &state, &mut cache).to_bits()
+            );
+            let mut plain = state;
+            let mut cached = state;
+            let out_plain = apply_erase(&params, &statics, &mut plain, 12.5);
+            let out_cached = apply_erase_cached(&params, &statics, &mut cached, 12.5, &mut cache);
+            assert_eq!(out_plain, out_cached);
+            assert_eq!(plain.vth.to_bits(), cached.vth.to_bits());
+            assert_eq!(plain.wear_cycles.to_bits(), cached.wear_cycles.to_bits());
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod wear;
 
 pub use calibration::{EraseCalibration, SusceptibilityTable, WearAnchor};
 pub use cell::{CellState, CellStatics, EarlyTrap};
-pub use erase::EraseOutcome;
+pub use erase::{EraseDistCache, EraseOutcome};
 pub use noise::PulseNoise;
 pub use params::{PhysicsParams, PhysicsParamsBuilder, TailParams, WearWeights};
 pub use retention::RetentionParams;

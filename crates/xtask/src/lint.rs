@@ -15,6 +15,11 @@
 //! 4. **missing-docs** — every `pub` item carries a doc comment (a
 //!    text-level double of the workspace `missing_docs` lint, so it also
 //!    fires without a full compile).
+//! 5. **thread-discipline** — no raw `std::thread::spawn` /
+//!    `thread::Builder` outside `crates/par`: all parallelism goes
+//!    through the deterministic `TrialRunner`, which owns the
+//!    merge-in-trial-order guarantee that keeps parallel runs
+//!    bit-identical to serial ones.
 //!
 //! Test modules (`#[cfg(test)]`), comments, and string literals are
 //! excluded from pattern scanning.
@@ -32,6 +37,8 @@ pub(crate) enum Rule {
     Nondeterminism,
     /// Every public item documented.
     MissingDocs,
+    /// No raw thread spawning outside `crates/par`.
+    ThreadDiscipline,
 }
 
 impl fmt::Display for Rule {
@@ -41,6 +48,7 @@ impl fmt::Display for Rule {
             Self::FloatEq => "float-eq",
             Self::Nondeterminism => "nondeterminism",
             Self::MissingDocs => "missing-docs",
+            Self::ThreadDiscipline => "thread-discipline",
         };
         f.write_str(s)
     }
@@ -80,6 +88,8 @@ pub(crate) struct RuleSet {
     pub(crate) nondeterminism: bool,
     /// Apply the missing-docs rule.
     pub(crate) missing_docs: bool,
+    /// Apply the thread-discipline rule.
+    pub(crate) thread_discipline: bool,
 }
 
 /// Scope for a workspace-relative path like `crates/nor/src/controller.rs`.
@@ -106,11 +116,15 @@ pub(crate) fn rules_for(path: &str) -> Option<RuleSet> {
     // source.
     let nondeterminism =
         !matches!(crate_dir, "bench" | "xtask") && path != "crates/physics/src/rng.rs";
+    // `crates/par` is the one sanctioned home for worker threads; every
+    // other crate must fan out through its deterministic `TrialRunner`.
+    let thread_discipline = crate_dir != "par";
     Some(RuleSet {
         panic_free,
         float_eq,
         nondeterminism,
         missing_docs: true,
+        thread_discipline,
     })
 }
 
@@ -138,6 +152,9 @@ pub(crate) fn lint_source(file: &str, source: &str, rules: RuleSet) -> Vec<Findi
         }
         if rules.missing_docs {
             check_missing_docs(file, line_no, raw, idx, &lines, &code, &mut findings);
+        }
+        if rules.thread_discipline {
+            check_thread_discipline(file, line_no, stripped, &mut findings);
         }
     }
     findings
@@ -316,6 +333,23 @@ fn check_nondeterminism(file: &str, line_no: usize, code: &str, findings: &mut V
     }
 }
 
+const THREAD_PATTERNS: [&str; 2] = ["thread::spawn", "thread::Builder"];
+
+fn check_thread_discipline(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
+    for pat in THREAD_PATTERNS {
+        if code.contains(pat) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                rule: Rule::ThreadDiscipline,
+                message: format!(
+                    "`{pat}` outside crates/par: fan work out through `flashmark_par::TrialRunner` so parallel runs stay bit-identical to serial ones"
+                ),
+            });
+        }
+    }
+}
+
 /// Characters that may appear in a comparison operand token.
 fn is_operand_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '(' | ')' | '[' | ']' | ':')
@@ -464,6 +498,7 @@ mod tests {
         float_eq: true,
         nondeterminism: true,
         missing_docs: true,
+        thread_discipline: true,
     };
 
     fn rules_of(findings: &[Finding]) -> Vec<Rule> {
@@ -483,6 +518,16 @@ mod tests {
         );
         let bench = rules_for("crates/bench/src/microbench.rs").unwrap();
         assert!(!bench.nondeterminism && !bench.panic_free);
+        assert!(
+            bench.thread_discipline,
+            "even the bench harness must go through TrialRunner"
+        );
+        let par = rules_for("crates/par/src/lib.rs").unwrap();
+        assert!(
+            !par.thread_discipline,
+            "crates/par is the sanctioned home for worker threads"
+        );
+        assert!(par.nondeterminism && par.missing_docs);
         assert!(rules_for("crates/nor/tests/properties.rs").is_none());
         assert!(rules_for("crates/nor/benches/x.rs").is_none());
         assert!(rules_for("README.md").is_none());
@@ -539,6 +584,18 @@ mod tests {
         let src = "/// D.\npub fn f() {\n    let t = std::time::Instant::now();\n}\n";
         let f = lint_source("x.rs", src, NOR_RULES);
         assert!(f.iter().any(|x| x.rule == Rule::Nondeterminism));
+    }
+
+    #[test]
+    fn flags_raw_thread_spawns() {
+        let src = "/// D.\npub fn f() {\n    std::thread::spawn(|| {});\n    let b = thread::Builder::new();\n}\n";
+        let f = lint_source("x.rs", src, NOR_RULES);
+        assert_eq!(rules_of(&f), vec![Rule::ThreadDiscipline; 2]);
+        assert_eq!(f[0].line, 3);
+        // `thread::scope` through the par crate's runner is the sanctioned
+        // shape and must not be flagged anywhere.
+        let ok = "/// D.\npub fn g(r: &TrialRunner) {\n    let _ = r.threads();\n}\n";
+        assert!(lint_source("x.rs", ok, NOR_RULES).is_empty());
     }
 
     #[test]

@@ -48,6 +48,56 @@ fn scenario_statistics_are_reproducible() {
     assert_eq!(format!("{s1}"), format!("{s2}"));
 }
 
+/// The parallel trial engine's core guarantee: a reduced-profile `run_all`
+/// produces byte-identical JSON artifacts at 1 worker thread (the exact
+/// legacy serial path) and at 8.
+#[test]
+fn suite_json_artifacts_identical_across_thread_counts() {
+    use flashmark_bench::suite::{run_suite, Profile, SuiteOptions};
+
+    let base = std::env::temp_dir().join(format!("flashmark_determinism_{}", std::process::id()));
+    let mut artifacts: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
+    for threads in [1usize, 8] {
+        let dir = base.join(format!("threads_{threads}"));
+        let report = run_suite(&SuiteOptions {
+            threads,
+            profile: Profile::Smoke,
+            results_dir: dir.clone(),
+        })
+        .expect("suite I/O");
+        assert!(
+            report.failures().is_empty(),
+            "smoke suite failed at {threads} thread(s): {:?}",
+            report.failures()
+        );
+        let mut files = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).expect("results dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "json") {
+                files.insert(
+                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(&path).expect("artifact"),
+                );
+            }
+        }
+        assert!(!files.is_empty(), "suite wrote no JSON artifacts");
+        artifacts.push(files);
+    }
+    let (serial, parallel) = (&artifacts[0], &artifacts[1]);
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "thread counts produced different artifact sets"
+    );
+    for (name, bytes) in serial {
+        assert_eq!(
+            bytes, &parallel[name],
+            "{name} differs between --threads 1 and --threads 8"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn experiments_are_reproducible() {
     use flashmark::core::SweepSpec;
