@@ -1,6 +1,7 @@
 //! CI perf gate: re-times the segment kernels and fails (exit 1) if any
 //! `kernel/*` entry regresses more than 2× against the committed
-//! `results/BENCH_runtime.json` baseline.
+//! `results/BENCH_runtime.json` baseline, or if a baseline kernel is
+//! missing from the current run entirely.
 //!
 //! Experiment wall times in the baseline are informational only — they
 //! depend on trial counts and machine, so only the kernel entries gate.
@@ -53,14 +54,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // A baseline kernel absent from the current run is a loud failure, not
+    // a silent skip — otherwise deleting (or renaming) a benchmark would
+    // "fix" its regression.
+    let missing = baseline.missing_from(&current, "kernel/");
+    for name in &missing {
+        eprintln!("MISSING KERNEL {name}: in baseline but not measured by this run");
+    }
+
     let regressions = baseline.regressions(&current, BUDGET_FACTOR, "kernel/");
-    if regressions.is_empty() {
-        println!("perf smoke OK: no kernel regressed > {BUDGET_FACTOR}x");
+    for r in &regressions {
+        eprintln!("PERF REGRESSION {r}");
+    }
+
+    if regressions.is_empty() && missing.is_empty() {
+        println!("perf smoke OK: no kernel regressed > {BUDGET_FACTOR}x, none missing");
         ExitCode::SUCCESS
     } else {
-        for r in &regressions {
-            eprintln!("PERF REGRESSION {r}");
-        }
         ExitCode::FAILURE
     }
 }

@@ -24,6 +24,7 @@
 //! ```
 
 pub mod experiments;
+pub mod fault_campaign;
 pub mod harness;
 pub mod json;
 pub mod microbench;

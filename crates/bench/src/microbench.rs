@@ -227,6 +227,19 @@ impl RuntimeReport {
         }
         out
     }
+
+    /// Names of this baseline's entries starting with `prefix` that are
+    /// absent from `current`. A kernel that silently vanished from the
+    /// current run is a gate failure, not a pass — otherwise deleting a
+    /// benchmark "fixes" its regression.
+    #[must_use]
+    pub fn missing_from(&self, current: &Self, prefix: &str) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|base| base.name.starts_with(prefix) && current.get(&base.name).is_none())
+            .map(|base| base.name.clone())
+            .collect()
+    }
 }
 
 /// Runs the segment-kernel micro-benchmarks and reports them as
@@ -362,6 +375,22 @@ mod tests {
         assert_eq!(regs.len(), 1, "{regs:?}");
         assert!(regs[0].contains("kernel/read_segment"));
         assert!(loaded.regressions(&current, 4.0, "kernel/").is_empty());
+    }
+
+    #[test]
+    fn missing_kernels_are_reported_not_ignored() {
+        let mut base = RuntimeReport::new();
+        base.push("kernel/read_segment", 0.010, 1);
+        base.push("kernel/bulk_stress_5k", 0.020, 1);
+        base.push("experiment/fig09", 2.0, 6);
+
+        let mut current = RuntimeReport::new();
+        current.push("kernel/read_segment", 0.010, 1);
+        // bulk_stress_5k vanished; fig09 is outside the kernel/ prefix and
+        // must not be flagged.
+        let missing = base.missing_from(&current, "kernel/");
+        assert_eq!(missing, vec!["kernel/bulk_stress_5k".to_string()]);
+        assert!(base.missing_from(&base, "kernel/").is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::experiments::{
     ecc_ablation, fig04, fig05, fig09, fig10, fig11, read_majority_ablation, recycled_probe,
     table1, BerSeries,
 };
+use crate::fault_campaign::{fault_campaign, fault_campaign_trials};
 use crate::impl_to_json;
 use crate::microbench::kernel_suite;
 use crate::output::write_json_in;
@@ -551,6 +552,38 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         );
         Ok(())
     });
+
+    // Differential fault-injection campaign (seed 42 matches the
+    // `fault_campaign` bin default, so the committed artifact and the
+    // suite's agree).
+    step(
+        &mut outcomes,
+        &mut md,
+        "fault_campaign",
+        fault_campaign_trials(opts.profile),
+        |md| {
+            let fc = fault_campaign(&runner(42), opts.profile)?;
+            write_json_in(dir, "fault_campaign", &fc)?;
+            row(
+                md,
+                "fault injection",
+                "reject→accept flips across fault grid",
+                "0 (invariant)".into(),
+                format!("{}", fc.reject_to_accept_total),
+            );
+            row(
+                md,
+                "fault injection",
+                "wear decreases under injected faults",
+                "0 (invariant)".into(),
+                format!("{}", fc.wear_decrease_total),
+            );
+            if !fc.invariants_hold() {
+                return Err("fault campaign invariant violated".into());
+            }
+            Ok(())
+        },
+    );
 
     // Supply-chain scenario.
     step(&mut outcomes, &mut md, "scenario", 1, |md| {

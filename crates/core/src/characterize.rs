@@ -329,9 +329,9 @@ mod tests {
             ],
             reads: 1,
         };
-        assert_eq!(curve.cells_0_at(Micros::new(2.5)), 75.0);
-        assert_eq!(curve.cells_0_at(Micros::new(-1.0)), 100.0);
-        assert_eq!(curve.cells_0_at(Micros::new(99.0)), 0.0);
+        assert!((curve.cells_0_at(Micros::new(2.5)) - 75.0).abs() < 1e-12);
+        assert!((curve.cells_0_at(Micros::new(-1.0)) - 100.0).abs() < 1e-12);
+        assert!(curve.cells_0_at(Micros::new(99.0)).abs() < 1e-12);
         assert_eq!(curve.midpoint_time(), Some(Micros::new(5.0)));
     }
 }

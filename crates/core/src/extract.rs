@@ -140,6 +140,19 @@ impl Extraction {
             elapsed: Seconds::new(0.0),
         }
     }
+
+    /// An empty placeholder extraction for reports whose extraction never
+    /// completed (e.g. an inconclusive verification after persistent
+    /// transient faults). Carries no votes and no channel bits.
+    pub(crate) fn unavailable(t_pew: Micros) -> Self {
+        Self {
+            votes: Vec::new(),
+            channel: Vec::new(),
+            replicas: 0,
+            t_pew,
+            elapsed: Seconds::new(0.0),
+        }
+    }
 }
 
 /// Extracts watermarks from segments according to a [`FlashmarkConfig`].
@@ -195,6 +208,40 @@ impl<'a> Extractor<'a> {
             t_pew: self.config.t_pew(),
             elapsed,
         })
+    }
+
+    /// [`Extractor::extract`] with bounded retry on transient flash errors
+    /// (interface NAKs, busy controllers, mid-operation power loss).
+    ///
+    /// A field verifier talks to chips over cables and sockets; transient
+    /// interface errors are routine and re-running the extraction is always
+    /// safe — the watermark lives in wear, which extraction cannot change.
+    /// Each retry restarts the Fig. 8 sequence from the segment erase, which
+    /// doubles as the backoff: the failed operation is left behind and the
+    /// device sees a fresh command sequence. At most `max_retries` retries
+    /// are attempted (so `max_retries + 1` extraction runs in total).
+    ///
+    /// # Errors
+    ///
+    /// The last transient error once the retry budget is exhausted, or the
+    /// first non-transient error immediately.
+    pub fn extract_with_retry<F: FlashInterface>(
+        &self,
+        flash: &mut F,
+        seg: SegmentAddr,
+        data_len: usize,
+        max_retries: u32,
+    ) -> Result<Extraction, CoreError> {
+        let mut remaining = max_retries;
+        loop {
+            match self.extract(flash, seg, data_len) {
+                Ok(extraction) => return Ok(extraction),
+                Err(CoreError::Flash(e)) if e.is_transient() && remaining > 0 => {
+                    remaining -= 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Extraction followed by leaving the segment erased (the extraction

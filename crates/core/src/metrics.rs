@@ -121,7 +121,7 @@ mod tests {
         let bits = [true, false, true];
         let e = ExtractionErrors::compare(&bits, &bits);
         assert_eq!(e.errors(), 0);
-        assert_eq!(e.ber(), 0.0);
+        assert!(e.ber().abs() < 1e-12);
     }
 
     #[test]
@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn empty_is_safe() {
         let e = ExtractionErrors::default();
-        assert_eq!(e.ber(), 0.0);
-        assert_eq!(e.good_error_rate(), 0.0);
-        assert_eq!(e.bad_error_rate(), 0.0);
+        assert!(e.ber().abs() < 1e-12);
+        assert!(e.good_error_rate().abs() < 1e-12);
+        assert!(e.bad_error_rate().abs() < 1e-12);
     }
 }

@@ -125,7 +125,7 @@ mod tests {
         let mut attacked = wm.bits().to_vec();
         // Attacker stresses 8 of the good cells (1 -> 0).
         let mut flipped = 0;
-        for b in attacked.iter_mut() {
+        for b in &mut attacked {
             if *b && flipped < 8 {
                 *b = false;
                 flipped += 1;

@@ -64,10 +64,28 @@ pub enum NorError {
         /// Wear in kcycles.
         kcycles: f64,
     },
+    /// The interface NAK'ed the command (bus glitch, handshake timeout).
+    /// The operation had no effect on the array; re-issuing it is expected
+    /// to succeed.
+    TransientNak,
+    /// Power was lost mid-operation. The operation's effect on the array is
+    /// partial or absent; once power returns the device accepts commands
+    /// again.
+    PowerLoss,
 }
 
 // f64 in WearModelRange breaks Eq; keep Eq by comparing bits.
 impl Eq for NorError {}
+
+impl NorError {
+    /// Whether the error is transient: the command failed for reasons that
+    /// do not persist (NAK, busy controller, mid-operation power loss), so
+    /// a bounded retry of the same operation is the correct response.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::TransientNak | Self::PowerLoss | Self::Busy)
+    }
+}
 
 impl fmt::Display for NorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -113,6 +131,8 @@ impl fmt::Display for NorError {
                     "wear of {kcycles} kcycles is outside the calibrated model range"
                 )
             }
+            Self::TransientNak => write!(f, "interface rejected the command (transient nak)"),
+            Self::PowerLoss => write!(f, "power lost mid-operation"),
         }
     }
 }
@@ -144,6 +164,8 @@ mod tests {
                 got: 3,
                 expected: 256,
             },
+            NorError::TransientNak,
+            NorError::PowerLoss,
         ];
         for e in samples {
             let msg = e.to_string();
@@ -163,5 +185,14 @@ mod tests {
     fn equality() {
         assert_eq!(NorError::Locked, NorError::Locked);
         assert_ne!(NorError::Locked, NorError::Busy);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(NorError::TransientNak.is_transient());
+        assert!(NorError::PowerLoss.is_transient());
+        assert!(NorError::Busy.is_transient());
+        assert!(!NorError::Locked.is_transient());
+        assert!(!NorError::KeyViolation.is_transient());
     }
 }

@@ -52,6 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Verdict::Counterfeit(reason) => {
                 println!("{name}: COUNTERFEIT ({reason:?})");
             }
+            Verdict::Inconclusive(reason) => {
+                // Never treated as genuine: an unjudgeable chip goes back
+                // into the inspection queue.
+                println!("{name}: INCONCLUSIVE ({reason:?}) — re-inspect");
+            }
         }
     }
     Ok(())

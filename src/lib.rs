@@ -16,6 +16,9 @@
 //! * [`supply`] — supply-chain scenarios and counterfeiter attack models.
 //! * [`sanitizer`] — flash-protocol runtime sanitizer: wraps any flash
 //!   interface and reports invariant violations with event backtraces.
+//! * [`fault`] — deterministic fault injection: wraps any flash interface
+//!   and injects power loss, bit flips, read disturb, timing jitter and
+//!   transient interface errors from a seed-driven [`fault::FaultPlan`].
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use flashmark_core as core;
 pub use flashmark_ecc as ecc;
+pub use flashmark_fault as fault;
 pub use flashmark_msp430 as msp430;
 pub use flashmark_nand as nand;
 pub use flashmark_nor as nor;

@@ -107,6 +107,7 @@ fn stress_padding_is_detected_not_accepted() {
     match verdict(&verifier, &mut chip) {
         Verdict::Counterfeit(_) => {}
         Verdict::Genuine => panic!("stress padding must never yield a genuine verdict"),
+        Verdict::Inconclusive(_) => panic!("fault-free verification must be conclusive"),
     }
 }
 
@@ -156,6 +157,7 @@ fn partial_stress_tamper_breaks_the_signature() {
     match verdict(&verifier, &mut chip) {
         Verdict::Genuine => panic!("partial tamper slipped through"),
         Verdict::Counterfeit(_) => {}
+        Verdict::Inconclusive(_) => panic!("fault-free verification must be conclusive"),
     }
 }
 
@@ -205,6 +207,7 @@ fn targeted_bit_stress_cannot_flip_reject_to_accept() {
     match verdict(&verifier, &mut chip) {
         Verdict::Genuine => panic!("targeted stress forged an accept record"),
         Verdict::Counterfeit(_) => {}
+        Verdict::Inconclusive(_) => panic!("fault-free verification must be conclusive"),
     }
 }
 
