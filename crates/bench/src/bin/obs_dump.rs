@@ -1,0 +1,60 @@
+//! Replays one trial of the observability campaign and pretty-prints its
+//! event timeline: flash ops, retry decisions, ladder rungs, fault
+//! firings, and the verdict, in op order.
+//!
+//! Flags:
+//!
+//! - `--seed=N` — campaign seed (default 42, matching the committed
+//!   `results/obs_report.json`).
+//! - `--trial=N` — trial index to replay (default 0).
+//! - `--full` / `--profile=full` — replay against the full fault grid
+//!   (default: smoke).
+//!
+//! The replay is serial and deterministic: the same seed, trial, and
+//! profile always print the same timeline.
+
+use std::process::ExitCode;
+
+use flashmark_bench::observability::dump_trial;
+use flashmark_bench::suite::Profile;
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut trial = 0usize;
+    let mut profile = Profile::Smoke;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--seed=") {
+            match v.parse() {
+                Ok(s) => seed = s,
+                Err(_) => return usage(&format!("bad --seed value {v:?}")),
+            }
+        } else if let Some(v) = arg.strip_prefix("--trial=") {
+            match v.parse() {
+                Ok(t) => trial = t,
+                Err(_) => return usage(&format!("bad --trial value {v:?}")),
+            }
+        } else if arg == "--full" || arg == "--profile=full" {
+            profile = Profile::Full;
+        } else if arg == "--smoke" || arg == "--profile=smoke" {
+            profile = Profile::Smoke;
+        } else {
+            return usage(&format!("unknown argument {arg:?}"));
+        }
+    }
+    match dump_trial(seed, trial, profile) {
+        Ok(timeline) => {
+            print!("{timeline}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_dump failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("{error}");
+    eprintln!("usage: obs_dump [--seed=N] [--trial=N] [--full|--smoke]");
+    ExitCode::FAILURE
+}

@@ -149,7 +149,7 @@ pub fn fault_grid(profile: Profile) -> Vec<FaultClass> {
 
 /// Chip population the campaign verifies against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Scenario {
+pub(crate) enum Scenario {
     /// Imprinted ACCEPT die: the genuine population.
     Accept,
     /// Imprinted REJECT die: must never verify Genuine, faults or not.
@@ -158,10 +158,10 @@ enum Scenario {
     Blank,
 }
 
-const SCENARIOS: [Scenario; 3] = [Scenario::Accept, Scenario::Reject, Scenario::Blank];
+pub(crate) const SCENARIOS: [Scenario; 3] = [Scenario::Accept, Scenario::Reject, Scenario::Blank];
 
 impl Scenario {
-    const fn name(self) -> &'static str {
+    pub(crate) const fn name(self) -> &'static str {
         match self {
             Self::Accept => "accept",
             Self::Reject => "reject",
@@ -176,7 +176,7 @@ pub fn fault_campaign_trials(profile: Profile) -> usize {
     fault_grid(profile).len() * SCENARIOS.len() * trials_per_cell(profile)
 }
 
-const fn trials_per_cell(profile: Profile) -> usize {
+pub(crate) const fn trials_per_cell(profile: Profile) -> usize {
     match profile {
         Profile::Full => 4,
         Profile::Smoke => 2,
@@ -268,7 +268,7 @@ impl FaultCampaignData {
 
 /// One trial's differential outcome.
 #[derive(Debug, Clone)]
-struct TrialOutcome {
+pub(crate) struct TrialOutcome {
     golden_genuine: bool,
     faulted_genuine: bool,
     faulted_inconclusive: bool,
@@ -312,7 +312,7 @@ fn ber_between(golden: &VerificationReport, faulted: &VerificationReport) -> Opt
     Some(errors as f64 / a.len() as f64)
 }
 
-fn run_trial(
+pub(crate) fn run_trial(
     trial_seed: u64,
     scenario: Scenario,
     class: &FaultClass,

@@ -18,6 +18,8 @@ pub enum Json {
     Num(f64),
     /// An integer kept exact (u64 range).
     UInt(u64),
+    /// A signed integer kept exact (i64 range).
+    Int(i64),
     /// A string.
     Str(String),
     /// An array.
@@ -54,6 +56,9 @@ impl Json {
                 }
             }
             Self::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Self::Int(n) => {
                 let _ = write!(out, "{n}");
             }
             Self::Str(s) => write_escaped(out, s),
@@ -151,6 +156,17 @@ macro_rules! to_json_uint {
     )*};
 }
 to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+to_json_int!(i8, i16, i32, i64, isize);
 
 impl ToJson for String {
     fn to_json(&self) -> Json {
@@ -266,6 +282,12 @@ mod tests {
     fn integral_floats_keep_a_decimal() {
         assert_eq!(Json::Num(3.0).pretty(), "3.0");
         assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+    }
+
+    #[test]
+    fn signed_integers_stay_exact() {
+        assert_eq!((-3i64).to_json().pretty(), "-3");
+        assert_eq!(7i32.to_json().pretty(), "7");
     }
 
     struct Demo {

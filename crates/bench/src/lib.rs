@@ -28,6 +28,7 @@ pub mod fault_campaign;
 pub mod harness;
 pub mod json;
 pub mod microbench;
+pub mod observability;
 pub mod output;
 pub mod paper;
 pub mod suite;

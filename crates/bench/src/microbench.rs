@@ -8,6 +8,7 @@
 //! simulation crates, where nondeterminism would corrupt experiments, not
 //! from benchmark infrastructure whose entire job is timing.
 
+use std::fmt::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -117,6 +118,10 @@ pub struct RuntimeEntry {
     pub name: String,
     /// Wall-clock seconds for one run of the unit.
     pub wall_s: f64,
+    /// Observability events one run of the unit emits (from an obs
+    /// collector installed around an untimed iteration); absent for
+    /// entries that predate the instrumentation or are not instrumented.
+    pub ops: Option<u64>,
     /// Throughput: units (trials or kernel iterations) per second.
     pub trials_per_s: f64,
 }
@@ -132,6 +137,7 @@ pub struct RuntimeReport {
 impl_to_json!(RuntimeEntry {
     name,
     wall_s,
+    ops,
     trials_per_s
 });
 impl_to_json!(RuntimeReport { entries });
@@ -146,9 +152,15 @@ impl RuntimeReport {
     /// Records one entry; `units` is the trial/iteration count behind
     /// `wall_s` (throughput is derived from it).
     pub fn push(&mut self, name: &str, wall_s: f64, units: usize) {
+        self.push_with_ops(name, wall_s, units, None);
+    }
+
+    /// Records one entry with its observed per-iteration obs event count.
+    pub fn push_with_ops(&mut self, name: &str, wall_s: f64, units: usize, ops: Option<u64>) {
         self.entries.push(RuntimeEntry {
             name: name.to_string(),
             wall_s,
+            ops,
             trials_per_s: if wall_s > 0.0 {
                 units as f64 / wall_s
             } else {
@@ -185,17 +197,26 @@ impl RuntimeReport {
         let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let mut entries = Vec::new();
         let (mut name, mut wall_s): (Option<String>, Option<f64>) = (None, None);
+        let mut ops: Option<u64> = None;
         for line in text.lines() {
             let line = line.trim().trim_end_matches(',');
             if let Some(v) = line.strip_prefix("\"name\": ") {
                 name = Some(v.trim_matches('"').to_string());
             } else if let Some(v) = line.strip_prefix("\"wall_s\": ") {
                 wall_s = Some(v.parse().map_err(|_| bad("bad wall_s"))?);
+            } else if let Some(v) = line.strip_prefix("\"ops\": ") {
+                // Optional: baselines written before the field existed (or
+                // uninstrumented entries) have no/`null` ops.
+                ops = match v {
+                    "null" => None,
+                    v => Some(v.parse().map_err(|_| bad("bad ops"))?),
+                };
             } else if let Some(v) = line.strip_prefix("\"trials_per_s\": ") {
                 let trials_per_s = v.parse().map_err(|_| bad("bad trials_per_s"))?;
                 entries.push(RuntimeEntry {
                     name: name.take().ok_or_else(|| bad("trials_per_s before name"))?,
                     wall_s: wall_s.take().ok_or_else(|| bad("missing wall_s"))?,
+                    ops: ops.take(),
                     trials_per_s,
                 });
             }
@@ -206,6 +227,13 @@ impl RuntimeReport {
     /// Entries of `current` whose wall time regressed more than `factor`×
     /// against this baseline, restricted to names starting with `prefix`.
     /// Entries absent from the baseline are new, not regressions.
+    ///
+    /// Each line is rendered by
+    /// [`compare_line_labeled`](crate::output::compare_line_labeled)
+    /// (baseline vs current, µs, with the ratio) and carries the op counts
+    /// from the obs collectors when both sides recorded them — a regressed
+    /// kernel that also does more flash work is a behavior change, not
+    /// just a slow machine.
     #[must_use]
     pub fn regressions(&self, current: &Self, factor: f64, prefix: &str) -> Vec<String> {
         let mut out = Vec::new();
@@ -215,13 +243,17 @@ impl RuntimeReport {
             }
             if let Some(base) = self.get(&cur.name) {
                 if base.wall_s > 0.0 && cur.wall_s > base.wall_s * factor {
-                    out.push(format!(
-                        "{}: {} vs baseline {} ({:.2}x > {factor}x budget)",
-                        cur.name,
-                        fmt_time(cur.wall_s),
-                        fmt_time(base.wall_s),
-                        cur.wall_s / base.wall_s
-                    ));
+                    let mut line = crate::output::compare_line_labeled(
+                        &cur.name,
+                        ("baseline", base.wall_s * 1e6),
+                        ("current", cur.wall_s * 1e6),
+                        "us",
+                    );
+                    let _ = write!(line, " > {factor}x budget");
+                    if let (Some(b), Some(c)) = (base.ops, cur.ops) {
+                        let _ = write!(line, "; obs ops baseline {b} current {c}");
+                    }
+                    out.push(line);
                 }
             }
         }
@@ -266,60 +298,66 @@ pub fn kernel_suite() -> RuntimeReport {
     };
     let pattern: Vec<u16> = (0..256u32).map(|w| (w as u16).rotate_left(3)).collect();
     let mut report = RuntimeReport::new();
-    let mut add = |name: &str, stats: BenchStats| {
-        report.push(&format!("kernel/{name}"), stats.median_s, 1);
+    let mut add = |name: &str, stats: BenchStats, ops: u64| {
+        report.push_with_ops(&format!("kernel/{name}"), stats.median_s, 1, Some(ops));
+    };
+    let programmed = || {
+        let mut c = chip();
+        c.program_block(seg, &pattern).expect("program");
+        c
     };
 
+    let read = |mut c: FlashController| c.read_block(seg).expect("read");
     add(
         "read_segment",
-        bench.bench_with_setup(
-            "read_segment",
-            || {
-                let mut c = chip();
-                c.program_block(seg, &pattern).expect("program");
-                c
-            },
-            |mut c| c.read_block(seg).expect("read"),
-        ),
+        bench.bench_with_setup("read_segment", programmed, read),
+        traced_ops(programmed, read),
     );
+    let program = |mut c: FlashController| {
+        c.program_block(seg, &pattern).expect("program");
+    };
     add(
         "program_segment",
-        bench.bench_with_setup("program_segment", chip, |mut c| {
-            c.program_block(seg, &pattern).expect("program");
-        }),
+        bench.bench_with_setup("program_segment", chip, program),
+        traced_ops(chip, program),
     );
+    let partial = |mut c: FlashController| c.partial_erase(seg, Micros::new(30.0)).expect("erase");
     add(
         "partial_erase",
-        bench.bench_with_setup(
-            "partial_erase",
-            || {
-                let mut c = chip();
-                c.program_block(seg, &pattern).expect("program");
-                c
-            },
-            |mut c| c.partial_erase(seg, Micros::new(30.0)).expect("erase"),
-        ),
+        bench.bench_with_setup("partial_erase", programmed, partial),
+        traced_ops(programmed, partial),
     );
+    let until_clean = |mut c: FlashController| c.erase_until_clean(seg).expect("erase");
     add(
         "erase_until_clean",
-        bench.bench_with_setup(
-            "erase_until_clean",
-            || {
-                let mut c = chip();
-                c.program_block(seg, &pattern).expect("program");
-                c
-            },
-            |mut c| c.erase_until_clean(seg).expect("erase"),
-        ),
+        bench.bench_with_setup("erase_until_clean", programmed, until_clean),
+        traced_ops(programmed, until_clean),
     );
+    let bulk = |mut c: FlashController| {
+        c.bulk_imprint(seg, &pattern, 5_000, ImprintTiming::Accelerated)
+            .expect("stress")
+    };
     add(
         "bulk_stress_5k",
-        bench.bench_with_setup("bulk_stress_5k", chip, |mut c| {
-            c.bulk_imprint(seg, &pattern, 5_000, ImprintTiming::Accelerated)
-                .expect("stress")
-        }),
+        bench.bench_with_setup("bulk_stress_5k", chip, bulk),
+        traced_ops(chip, bulk),
     );
     report
+}
+
+/// Runs one untimed iteration of a kernel under a metrics-only obs
+/// collector (installed *after* setup, so setup traffic is excluded) and
+/// returns the obs events the iteration emitted.
+fn traced_ops<S, R>(mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> R) -> u64 {
+    use flashmark_obs::Collector;
+    let input = setup();
+    let prev = flashmark_obs::install(Collector::with_capacity(0, 0));
+    std::hint::black_box(f(input));
+    let collector = flashmark_obs::take().unwrap_or_else(|| Collector::with_capacity(0, 0));
+    if let Some(p) = prev {
+        flashmark_obs::install(p);
+    }
+    collector.ops()
 }
 
 fn fmt_time(seconds: f64) -> String {
@@ -356,7 +394,7 @@ mod tests {
     #[test]
     fn runtime_report_roundtrips_and_gates() {
         let mut base = RuntimeReport::new();
-        base.push("kernel/read_segment", 0.010, 1);
+        base.push_with_ops("kernel/read_segment", 0.010, 1, Some(7));
         base.push("experiment/fig09", 2.0, 6);
         let dir = std::env::temp_dir().join("flashmark_runtime_report");
         std::fs::create_dir_all(&dir).unwrap();
@@ -366,14 +404,30 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.entries.len(), 2);
         assert_eq!(loaded.get("experiment/fig09").unwrap().trials_per_s, 3.0);
+        // `ops` roundtrips, including its absence.
+        assert_eq!(loaded.get("kernel/read_segment").unwrap().ops, Some(7));
+        assert_eq!(loaded.get("experiment/fig09").unwrap().ops, None);
 
         let mut current = RuntimeReport::new();
-        current.push("kernel/read_segment", 0.030, 1); // 3x slower
+        current.push_with_ops("kernel/read_segment", 0.030, 1, Some(9)); // 3x slower
         current.push("kernel/brand_new", 9.0, 1); // no baseline: not a regression
         current.push("experiment/fig09", 9.0, 6); // outside the kernel/ prefix
         let regs = loaded.regressions(&current, 2.0, "kernel/");
         assert_eq!(regs.len(), 1, "{regs:?}");
         assert!(regs[0].contains("kernel/read_segment"));
+        // The line is a labeled compare line with a ratio and both sides'
+        // obs op counts, not a bare float dump.
+        assert!(
+            regs[0].contains("baseline") && regs[0].contains("current"),
+            "{}",
+            regs[0]
+        );
+        assert!(regs[0].contains("(x3.00)"), "{}", regs[0]);
+        assert!(
+            regs[0].contains("obs ops baseline 7 current 9"),
+            "{}",
+            regs[0]
+        );
         assert!(loaded.regressions(&current, 4.0, "kernel/").is_empty());
     }
 

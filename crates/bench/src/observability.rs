@@ -1,0 +1,325 @@
+//! The observability campaign behind `results/obs_report.json` and the
+//! `obs_dump` timeline tool.
+//!
+//! [`obs_campaign`] re-runs the differential fault-injection grid of
+//! [`crate::fault_campaign`] with a per-trial
+//! [`Collector`](flashmark_obs::Collector) installed around every trial,
+//! then merges the collectors **in trial order** into a deterministic
+//! aggregate: counters, histograms, and per-trial summaries that are
+//! byte-identical at any `--threads` count. Wall-clock timings never enter
+//! the aggregate — the suite quarantines them into
+//! `results/obs_timings.json`, which the determinism test skips.
+//!
+//! [`dump_trial`] replays a single trial of the same campaign serially
+//! with a large event ring and renders its op-ordered event timeline —
+//! flash operations, retry decisions, ladder rungs, fault firings, and the
+//! final verdict, exactly as the instrumented stack emitted them.
+
+use std::fmt::Write as _;
+
+use flashmark_core::CoreError;
+use flashmark_obs::run_instrumented;
+use flashmark_par::TrialRunner;
+
+use crate::fault_campaign::{fault_grid, run_trial, trials_per_cell, SCENARIOS};
+use crate::impl_to_json;
+use crate::suite::Profile;
+
+/// One merged `(group, name)` counter of the campaign aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsCounterRow {
+    /// Counter group, e.g. `flash`, `retry`, `verdict`.
+    pub group: String,
+    /// Counter name within the group, e.g. `erase_segment`.
+    pub name: String,
+    /// Merged count across all trials.
+    pub count: u64,
+}
+impl_to_json!(ObsCounterRow { group, name, count });
+
+/// One merged `(metric, bucket)` histogram bin of the campaign aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsHistogramRow {
+    /// Histogram metric, e.g. `t_pe_us`.
+    pub metric: String,
+    /// Integer bucket (µs quantities are rounded at record time).
+    pub bucket: i64,
+    /// Merged observation count for the bucket.
+    pub count: u64,
+}
+impl_to_json!(ObsHistogramRow {
+    metric,
+    bucket,
+    count
+});
+
+/// One trial's bounded summary in the aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsTrialRow {
+    /// Trial index within the campaign.
+    pub trial_index: u64,
+    /// Events the trial emitted in total.
+    pub ops: u64,
+    /// Events still retained in the trial's ring at merge time.
+    pub events_retained: u64,
+    /// Events evicted from the ring.
+    pub dropped: u64,
+}
+impl_to_json!(ObsTrialRow {
+    trial_index,
+    ops,
+    events_retained,
+    dropped
+});
+
+/// The `results/obs_report.json` artifact: the deterministic aggregate of
+/// an instrumented fault-grid campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsCampaignData {
+    /// Campaign seed all trial seeds derive from.
+    pub seed: u64,
+    /// Profile name (`full` / `smoke`).
+    pub profile: &'static str,
+    /// Independent trials instrumented.
+    pub trials: u64,
+    /// Events emitted across all trials.
+    pub total_ops: u64,
+    /// Ring evictions across all trials.
+    pub events_dropped: u64,
+    /// Merged counters in sorted `(group, name)` order.
+    pub counters: Vec<ObsCounterRow>,
+    /// Merged histogram bins in sorted `(metric, bucket)` order.
+    pub histograms: Vec<ObsHistogramRow>,
+    /// Per-trial summaries in trial order.
+    pub per_trial: Vec<ObsTrialRow>,
+}
+impl_to_json!(ObsCampaignData {
+    seed,
+    profile,
+    trials,
+    total_ops,
+    events_dropped,
+    counters,
+    histograms,
+    per_trial
+});
+
+impl ObsCampaignData {
+    /// The merged value of a counter (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, group: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.group == group && c.name == name)
+            .map_or(0, |c| c.count)
+    }
+
+    /// Sum of all counters in a group.
+    #[must_use]
+    pub fn group_total(&self, group: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.group == group)
+            .map(|c| c.count)
+            .sum()
+    }
+}
+
+/// Independent trials of a profile's observability campaign (identical to
+/// the fault campaign's trial count — it is the same grid, instrumented).
+#[must_use]
+pub fn obs_campaign_trials(profile: Profile) -> usize {
+    fault_grid(profile).len() * SCENARIOS.len() * trials_per_cell(profile)
+}
+
+const fn profile_name(profile: Profile) -> &'static str {
+    match profile {
+        Profile::Full => "full",
+        Profile::Smoke => "smoke",
+    }
+}
+
+/// Runs the instrumented campaign: every trial of the fault grid under a
+/// fresh per-trial collector, merged in trial order.
+///
+/// # Errors
+///
+/// Configuration or flash errors from any trial.
+pub fn obs_campaign(runner: &TrialRunner, profile: Profile) -> Result<ObsCampaignData, CoreError> {
+    let grid = fault_grid(profile);
+    let reps = trials_per_cell(profile);
+    let n = SCENARIOS.len() * grid.len() * reps;
+
+    let run = run_instrumented(runner, n, flashmark_obs::DEFAULT_EVENT_CAPACITY, |trial| {
+        let cell = trial.index / reps;
+        let scenario = SCENARIOS[cell / grid.len()];
+        let class = &grid[cell % grid.len()];
+        run_trial(trial.seed, scenario, class)
+    });
+    if let Some(err) = run.outputs.iter().find_map(|o| o.as_ref().err()) {
+        return Err(err.clone());
+    }
+
+    let report = run.report();
+    Ok(ObsCampaignData {
+        seed: runner.experiment_seed(),
+        profile: profile_name(profile),
+        trials: report.trials(),
+        total_ops: report.total_ops(),
+        events_dropped: report.events_dropped(),
+        counters: report
+            .metrics()
+            .counters()
+            .map(|(group, name, count)| ObsCounterRow {
+                group: group.to_string(),
+                name: name.to_string(),
+                count,
+            })
+            .collect(),
+        histograms: report
+            .metrics()
+            .histograms()
+            .map(|(metric, bucket, count)| ObsHistogramRow {
+                metric: metric.to_string(),
+                bucket,
+                count,
+            })
+            .collect(),
+        per_trial: report
+            .per_trial()
+            .iter()
+            .map(|t| ObsTrialRow {
+                trial_index: t.trial_index,
+                ops: t.ops,
+                events_retained: t.events_retained,
+                dropped: t.dropped,
+            })
+            .collect(),
+    })
+}
+
+/// Ring capacity for [`dump_trial`]: large enough that a single smoke
+/// trial never evicts.
+const DUMP_CAPACITY: usize = 1 << 16;
+
+/// Replays one trial of the seed-`seed` campaign serially and renders its
+/// event timeline, one `op_index  description` line per retained event.
+///
+/// Only the requested trial's body runs (all other trials return
+/// immediately), so the replay is cheap while the trial seed derivation
+/// matches the full campaign exactly.
+///
+/// # Errors
+///
+/// A range error if `trial_index` is out of range for the profile's
+/// campaign; configuration or flash errors from the replayed trial.
+pub fn dump_trial(
+    seed: u64,
+    trial_index: usize,
+    profile: Profile,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let grid = fault_grid(profile);
+    let reps = trials_per_cell(profile);
+    let n = SCENARIOS.len() * grid.len() * reps;
+    if trial_index >= n {
+        return Err(format!(
+            "trial {trial_index} out of range: the {} campaign has {n} trials (0..={})",
+            profile_name(profile),
+            n - 1
+        )
+        .into());
+    }
+
+    let runner = TrialRunner::with_threads(seed, 1);
+    let run = run_instrumented(&runner, n, DUMP_CAPACITY, |trial| {
+        if trial.index != trial_index {
+            return Ok(None);
+        }
+        let cell = trial.index / reps;
+        let scenario = SCENARIOS[cell / grid.len()];
+        let class = &grid[cell % grid.len()];
+        run_trial(trial.seed, scenario, class).map(Some)
+    });
+    if let Some(err) = run.outputs.iter().find_map(|o| o.as_ref().err()) {
+        return Err(err.clone().into());
+    }
+
+    let cell = trial_index / reps;
+    let scenario = SCENARIOS[cell / grid.len()];
+    let class = &grid[cell % grid.len()];
+    let collector = &run.collectors[trial_index];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trial {trial_index} of {n} (campaign seed {seed}, {} profile)",
+        profile_name(profile)
+    );
+    let _ = writeln!(
+        out,
+        "scenario={} fault_class={}",
+        scenario.name(),
+        class.name
+    );
+    let _ = writeln!(
+        out,
+        "{} events emitted, {} retained, {} dropped\n",
+        collector.ops(),
+        collector.events().count(),
+        collector.dropped()
+    );
+    let _ = writeln!(out, "{:>6}  event", "op");
+    for (op, event) in collector.events() {
+        let _ = writeln!(out, "{op:>6}  {}", event.describe());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_counts_verdicts_and_faults() {
+        let runner = TrialRunner::with_threads(42, 2);
+        let data = obs_campaign(&runner, Profile::Smoke).unwrap();
+        assert_eq!(data.trials as usize, obs_campaign_trials(Profile::Smoke));
+        assert_eq!(data.per_trial.len(), data.trials as usize);
+        // Every trial runs a golden and a faulted verify — two verdicts.
+        assert_eq!(data.group_total("verdict"), 2 * data.trials);
+        // The fault grid injects by construction.
+        assert!(data.group_total("fault") > 0, "no fault firings observed");
+        assert!(data.counter("span", "verify_resilient") >= 2 * data.trials);
+        assert!(data.total_ops > 0);
+    }
+
+    #[test]
+    fn campaign_is_identical_across_thread_counts() {
+        let serial = obs_campaign(&TrialRunner::with_threads(42, 1), Profile::Smoke).unwrap();
+        let parallel = obs_campaign(&TrialRunner::with_threads(42, 8), Profile::Smoke).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn dump_renders_an_op_ordered_timeline() {
+        let text = dump_trial(42, 0, Profile::Smoke).unwrap();
+        assert!(text.contains("scenario=accept"), "{text}");
+        assert!(text.contains("enter verify_resilient"), "{text}");
+        assert!(text.contains("verdict"), "{text}");
+        let ops: Vec<u64> = text
+            .lines()
+            .skip_while(|l| !l.ends_with("  event"))
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().next())
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        assert!(ops.len() > 10, "timeline too short: {text}");
+        assert!(ops.windows(2).all(|w| w[0] < w[1]), "ops not in order");
+    }
+
+    #[test]
+    fn dump_rejects_out_of_range_trials() {
+        let n = obs_campaign_trials(Profile::Smoke);
+        assert!(dump_trial(42, n, Profile::Smoke).is_err());
+    }
+}

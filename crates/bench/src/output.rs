@@ -106,12 +106,26 @@ pub fn write_json_in<T: ToJson>(dir: &Path, name: &str, value: &T) -> std::io::R
 /// Formats a paper-vs-measured comparison line.
 #[must_use]
 pub fn compare_line(metric: &str, paper: f64, measured: f64, unit: &str) -> String {
-    let ratio = if paper.abs() > 1e-12 {
-        measured / paper
+    compare_line_labeled(metric, ("paper", paper), ("measured", measured), unit)
+}
+
+/// Formats a comparison line with caller-chosen labels (e.g.
+/// `baseline` vs `current` for the perf gate).
+#[must_use]
+pub fn compare_line_labeled(
+    metric: &str,
+    (ref_label, reference): (&str, f64),
+    (cur_label, current): (&str, f64),
+    unit: &str,
+) -> String {
+    let ratio = if reference.abs() > 1e-12 {
+        current / reference
     } else {
         f64::NAN
     };
-    format!("{metric:<42} paper {paper:>9.2} {unit:<4} measured {measured:>9.2} {unit:<4} (x{ratio:.2})")
+    format!(
+        "{metric:<42} {ref_label} {reference:>9.2} {unit:<4} {cur_label} {current:>9.2} {unit:<4} (x{ratio:.2})"
+    )
 }
 
 #[cfg(test)]
@@ -144,5 +158,18 @@ mod tests {
     fn compare_line_has_ratio() {
         let line = compare_line("min BER @40K", 11.8, 10.0, "%");
         assert!(line.contains("x0.85"));
+    }
+
+    #[test]
+    fn labeled_compare_line_uses_the_labels() {
+        let line = compare_line_labeled(
+            "kernel/read_segment",
+            ("baseline", 10.0),
+            ("current", 30.0),
+            "us",
+        );
+        assert!(line.contains("baseline"));
+        assert!(line.contains("current"));
+        assert!(line.contains("x3.00"));
     }
 }

@@ -5,9 +5,10 @@
 //! `run_all` is a thin wrapper over [`run_suite`]; the workspace
 //! determinism test runs the [`Profile::Smoke`] suite at 1 and 8 threads
 //! and asserts byte-identical JSON artifacts. Wall-clock timings appear
-//! only in the Markdown report and `BENCH_runtime.json`, never in the
-//! experiment JSONs, so the determinism guarantee covers every `*.json`
-//! artifact.
+//! only in the Markdown report, `BENCH_runtime.json`, and the quarantined
+//! `obs_timings.json`, never in the experiment JSONs, so the determinism
+//! guarantee covers every other `*.json` artifact (including
+//! `obs_report.json`).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -31,6 +32,7 @@ use crate::experiments::{
 use crate::fault_campaign::{fault_campaign, fault_campaign_trials};
 use crate::impl_to_json;
 use crate::microbench::kernel_suite;
+use crate::observability::{obs_campaign, obs_campaign_trials};
 use crate::output::write_json_in;
 use crate::paper;
 
@@ -98,6 +100,21 @@ impl_to_json!(FamilySummary {
     recipe_t_pew_us,
     recipe_window,
     optimum_spread_us
+});
+
+/// The `obs_timings.json` artifact: the observability step's wall clock,
+/// quarantined away from the deterministic `obs_report.json` so the latter
+/// stays byte-identical across machines and thread counts.
+#[derive(Debug)]
+struct ObsTimings {
+    wall_s: f64,
+    threads: usize,
+    trials: u64,
+}
+impl_to_json!(ObsTimings {
+    wall_s,
+    threads,
+    trials
 });
 
 type StepResult = Result<(), Box<dyn std::error::Error>>;
@@ -581,6 +598,67 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
             if !fc.invariants_hold() {
                 return Err("fault campaign invariant violated".into());
             }
+            Ok(())
+        },
+    );
+
+    // Observability: the same fault grid, instrumented. The deterministic
+    // aggregate goes to obs_report.json (covered by the determinism test);
+    // the step's wall clock is quarantined into obs_timings.json, the one
+    // JSON artifact the test skips.
+    step(
+        &mut outcomes,
+        &mut md,
+        "obs_report",
+        obs_campaign_trials(opts.profile),
+        |md| {
+            let t0 = Instant::now();
+            let data = obs_campaign(&runner(42), opts.profile)?;
+            let wall_s = t0.elapsed().as_secs_f64();
+            write_json_in(dir, "obs_report", &data)?;
+            let timings = ObsTimings {
+                wall_s,
+                threads: opts.threads,
+                trials: data.trials,
+            };
+            write_json_in(dir, "obs_timings", &timings)?;
+            row(
+                md,
+                "observability",
+                "events traced across fault campaign",
+                "—".into(),
+                format!("{} ({} trials)", data.total_ops, data.trials),
+            );
+            row(
+                md,
+                "observability",
+                "fault firings / sanitizer violations",
+                "—".into(),
+                format!(
+                    "{} / {}",
+                    data.group_total("fault"),
+                    data.group_total("sanitizer")
+                ),
+            );
+            row(
+                md,
+                "observability",
+                "verdicts genuine : counterfeit : inconclusive",
+                "—".into(),
+                format!(
+                    "{} : {} : {}",
+                    data.counter("verdict", "genuine"),
+                    data.counter("verdict", "counterfeit"),
+                    data.counter("verdict", "inconclusive"),
+                ),
+            );
+            row(
+                md,
+                "observability",
+                "events dropped by trial ring buffers",
+                "0".into(),
+                format!("{}", data.events_dropped),
+            );
             Ok(())
         },
     );

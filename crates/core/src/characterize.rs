@@ -10,6 +10,8 @@
 use flashmark_ecc::MajorityVote;
 use flashmark_nor::interface::{FlashInterface, FlashInterfaceExt};
 use flashmark_nor::SegmentAddr;
+use flashmark_obs as obs;
+use flashmark_obs::ObsEvent;
 use flashmark_physics::Micros;
 
 use crate::error::CoreError;
@@ -204,8 +206,14 @@ pub fn characterize_segment<F: FlashInterface>(
     sweep: &SweepSpec,
     reads: usize,
 ) -> Result<CharacterizationCurve, CoreError> {
+    let _span = obs::span("characterize");
+    let times = sweep.times();
+    obs::emit(ObsEvent::SweepWidth {
+        width_us: sweep.end.get() - sweep.start.get(),
+        points: times.len() as u32,
+    });
     let mut points = Vec::new();
-    for t_pe in sweep.times() {
+    for t_pe in times {
         flash.erase_segment(seg)?;
         flash.program_all_zero(seg)?;
         if t_pe.get() > 0.0 {

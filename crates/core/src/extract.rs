@@ -17,6 +17,8 @@
 use flashmark_ecc::MajorityVote;
 use flashmark_nor::interface::{FlashInterface, FlashInterfaceExt};
 use flashmark_nor::SegmentAddr;
+use flashmark_obs as obs;
+use flashmark_obs::ObsEvent;
 use flashmark_physics::{Micros, Seconds};
 
 use crate::characterize::analyze_segment;
@@ -183,6 +185,7 @@ impl<'a> Extractor<'a> {
         seg: SegmentAddr,
         data_len: usize,
     ) -> Result<Extraction, CoreError> {
+        let _span = obs::span("extract");
         let layout = SegmentLayout::new(data_len, self.config.replicas(), self.config.layout())?;
         layout.check_fits(flash.geometry())?;
 
@@ -238,6 +241,10 @@ impl<'a> Extractor<'a> {
                 Ok(extraction) => return Ok(extraction),
                 Err(CoreError::Flash(e)) if e.is_transient() && remaining > 0 => {
                     remaining -= 1;
+                    obs::emit(ObsEvent::Retry {
+                        stage: "extract",
+                        attempt: max_retries - remaining,
+                    });
                 }
                 Err(e) => return Err(e),
             }

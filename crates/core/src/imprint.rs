@@ -26,6 +26,7 @@
 
 use flashmark_nor::interface::{BulkStress, FlashInterface, ImprintTiming};
 use flashmark_nor::SegmentAddr;
+use flashmark_obs as obs;
 use flashmark_physics::Seconds;
 
 use crate::config::FlashmarkConfig;
@@ -93,6 +94,7 @@ impl<'a> Imprinter<'a> {
         seg: SegmentAddr,
         wm: &Watermark,
     ) -> Result<ImprintReport, CoreError> {
+        let _span = obs::span("imprint");
         let pattern = self.pattern(flash, wm)?;
         let timing = if self.config.accelerated() {
             ImprintTiming::Accelerated
@@ -122,6 +124,7 @@ impl<'a> Imprinter<'a> {
         seg: SegmentAddr,
         wm: &Watermark,
     ) -> Result<ImprintReport, CoreError> {
+        let _span = obs::span("imprint");
         let pattern = self.pattern(flash, wm)?;
         let start = flash.elapsed();
         for _ in 0..self.config.n_pe() {

@@ -84,6 +84,8 @@ pub use sanitized::{
     run_sanitized, SanitizedOutcome,
 };
 pub use tamper::{BalancePolicy, FlipAsymmetry};
-pub use verify::{CounterfeitReason, InconclusiveReason, Verdict, VerificationReport, Verifier};
+pub use verify::{
+    CounterfeitReason, InconclusiveReason, Resolution, Verdict, VerificationReport, Verifier,
+};
 pub use watermark::{TestStatus, Watermark, WatermarkRecord};
 pub use window::{select_t_pew, WindowChoice};

@@ -21,8 +21,12 @@
 //! and degrades to [`Verdict::Inconclusive`] (never a hard error, never a
 //! false Genuine) when faults persist.
 
+use std::fmt;
+
 use flashmark_nor::interface::FlashInterface;
 use flashmark_nor::SegmentAddr;
+use flashmark_obs as obs;
+use flashmark_obs::ObsEvent;
 use flashmark_physics::Micros;
 
 use crate::characterize::{characterize_segment, SweepSpec};
@@ -64,6 +68,76 @@ pub enum InconclusiveReason {
     RecharacterizationFailed,
 }
 
+impl fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TransientFaults => {
+                write!(f, "transient faults persisted past the retry budget")
+            }
+            Self::RecharacterizationFailed => write!(
+                f,
+                "the extraction window drifted and re-characterization faulted"
+            ),
+        }
+    }
+}
+
+/// Which strategy settled a verification — the rung of the retry ladder
+/// that decoded, the re-characterization fallback, or the failure mode that
+/// forced the verdict. Carries the winning operating point, so it lives on
+/// the [`VerificationReport`] (not inside [`Verdict`], which stays `Eq`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Resolution {
+    /// A rung of the published `tPEW` retry ladder decoded (offset relative
+    /// to the configured `tPEW`; `0.0` is the nominal operating point).
+    Ladder {
+        /// Winning ladder offset in µs.
+        offset_us: f64,
+    },
+    /// The re-characterization fallback re-derived the window and decoded.
+    Recharacterized {
+        /// The re-derived partial-erase time in µs.
+        t_pew_us: f64,
+    },
+    /// The transient retry budget ran out before any attempt completed.
+    RetriesExhausted,
+    /// The re-characterization fallback itself faulted out.
+    CharacterizationFaulted,
+    /// Every ladder rung (and any fallback) completed but nothing decoded;
+    /// the verdict comes from the last completed attempt.
+    NoDecode,
+}
+
+impl Resolution {
+    /// Stable strategy label (also the obs event payload).
+    #[must_use]
+    pub fn strategy(self) -> &'static str {
+        match self {
+            Self::Ladder { .. } => "ladder",
+            Self::Recharacterized { .. } => "recharacterized",
+            Self::RetriesExhausted => "retries_exhausted",
+            Self::CharacterizationFaulted => "recharacterization_faulted",
+            Self::NoDecode => "no_decode",
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Ladder { offset_us } => {
+                write!(f, "ladder rung at {offset_us:+.1} us")
+            }
+            Self::Recharacterized { t_pew_us } => {
+                write!(f, "re-characterized window at {t_pew_us:.1} us")
+            }
+            Self::RetriesExhausted => write!(f, "transient retry budget exhausted"),
+            Self::CharacterizationFaulted => write!(f, "re-characterization faulted"),
+            Self::NoDecode => write!(f, "no rung decoded"),
+        }
+    }
+}
+
 /// Outcome of a verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
@@ -77,6 +151,28 @@ pub enum Verdict {
     Inconclusive(InconclusiveReason),
 }
 
+impl Verdict {
+    /// Stable verdict label (also the obs event payload).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Genuine => "genuine",
+            Self::Counterfeit(_) => "counterfeit",
+            Self::Inconclusive(_) => "inconclusive",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Genuine => write!(f, "genuine"),
+            Self::Counterfeit(_) => write!(f, "counterfeit"),
+            Self::Inconclusive(reason) => write!(f, "inconclusive: {reason}"),
+        }
+    }
+}
+
 /// Full verification output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerificationReport {
@@ -86,6 +182,17 @@ pub struct VerificationReport {
     pub record: Option<WatermarkRecord>,
     /// The raw extraction (soft information, timing).
     pub extraction: Extraction,
+    /// Which strategy settled the verdict (ladder rung, fallback, or the
+    /// failure mode that forced degradation).
+    pub resolution: Resolution,
+}
+
+impl VerificationReport {
+    /// One human-readable line: the verdict and the strategy that won.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!("{} (resolved by {})", self.verdict, self.resolution)
+    }
 }
 
 /// Verifies chips against a manufacturer's public extraction recipe.
@@ -152,18 +259,25 @@ impl Verifier {
         flash: &mut F,
         seg: SegmentAddr,
     ) -> Result<VerificationReport, CoreError> {
+        let _span = obs::span("verify");
         let mut last: Option<VerificationReport> = None;
         for &offset in &self.retry_offsets_us {
             let t = Micros::new((self.config.t_pew().get() + offset).max(1.0));
             let report = self.verify_at(flash, seg, t)?;
+            obs::emit(ObsEvent::LadderRung {
+                offset_us: offset,
+                outcome: rung_outcome(&report),
+            });
             match report.verdict {
                 // A decoded record is conclusive either way: the signature
                 // binds it, whether it says accept or reject.
-                _ if report.record.is_some() => return Ok(report),
+                _ if report.record.is_some() => {
+                    return Ok(finish(report, Resolution::Ladder { offset_us: offset }))
+                }
                 // No wear watermark at all: retrying other times cannot
                 // conjure one up.
                 Verdict::Counterfeit(CounterfeitReason::NoWatermark) if offset.abs() < 1e-9 => {
-                    return Ok(report)
+                    return Ok(finish(report, Resolution::Ladder { offset_us: offset }))
                 }
                 // Signature mismatch: retry elsewhere in the window.
                 _ => last = Some(report),
@@ -172,7 +286,8 @@ impl Verifier {
         // `retry_offsets_us` is kept non-empty by construction, so the loop
         // always yields a report; surface a typed error instead of panicking
         // if that invariant is ever broken.
-        last.ok_or(CoreError::Config("verifier has no retry offsets"))
+        last.map(|r| finish(r, Resolution::NoDecode))
+            .ok_or(CoreError::Config("verifier has no retry offsets"))
     }
 
     /// [`Verifier::verify`] hardened for field conditions: transient flash
@@ -197,16 +312,30 @@ impl Verifier {
         flash: &mut F,
         seg: SegmentAddr,
     ) -> Result<VerificationReport, CoreError> {
+        let _span = obs::span("verify_resilient");
         let mut last: Option<VerificationReport> = None;
         for &offset in &self.retry_offsets_us {
             let t = Micros::new((self.config.t_pew().get() + offset).max(1.0));
             let Some(report) = self.attempt_with_retry(flash, seg, t)? else {
-                return Ok(Self::inconclusive(InconclusiveReason::TransientFaults, t));
+                obs::emit(ObsEvent::LadderRung {
+                    offset_us: offset,
+                    outcome: "transient_faults",
+                });
+                return Ok(finish(
+                    Self::inconclusive(InconclusiveReason::TransientFaults, t),
+                    Resolution::RetriesExhausted,
+                ));
             };
+            obs::emit(ObsEvent::LadderRung {
+                offset_us: offset,
+                outcome: rung_outcome(&report),
+            });
             match report.verdict {
-                _ if report.record.is_some() => return Ok(report),
+                _ if report.record.is_some() => {
+                    return Ok(finish(report, Resolution::Ladder { offset_us: offset }))
+                }
                 Verdict::Counterfeit(CounterfeitReason::NoWatermark) if offset.abs() < 1e-9 => {
-                    return Ok(report)
+                    return Ok(finish(report, Resolution::Ladder { offset_us: offset }))
                 }
                 _ => last = Some(report),
             }
@@ -218,25 +347,37 @@ impl Verifier {
         // try once more at the re-derived operating point.
         match self.recharacterized_t_pew(flash, seg)? {
             Recharacterization::Window(t) => match self.attempt_with_retry(flash, seg, t)? {
-                Some(report) if report.record.is_some() => return Ok(report),
+                Some(report) if report.record.is_some() => {
+                    return Ok(finish(
+                        report,
+                        Resolution::Recharacterized { t_pew_us: t.get() },
+                    ))
+                }
                 Some(report) => {
                     if last.is_none() {
                         last = Some(report);
                     }
                 }
                 None => {
-                    return Ok(Self::inconclusive(InconclusiveReason::TransientFaults, t));
+                    return Ok(finish(
+                        Self::inconclusive(InconclusiveReason::TransientFaults, t),
+                        Resolution::RetriesExhausted,
+                    ));
                 }
             },
             Recharacterization::Faulted => {
-                return Ok(Self::inconclusive(
-                    InconclusiveReason::RecharacterizationFailed,
-                    self.config.t_pew(),
+                return Ok(finish(
+                    Self::inconclusive(
+                        InconclusiveReason::RecharacterizationFailed,
+                        self.config.t_pew(),
+                    ),
+                    Resolution::CharacterizationFaulted,
                 ));
             }
             Recharacterization::NoWindow => {}
         }
-        last.ok_or(CoreError::Config("verifier has no retry offsets"))
+        last.map(|r| finish(r, Resolution::NoDecode))
+            .ok_or(CoreError::Config("verifier has no retry offsets"))
     }
 
     /// One ladder attempt under the transient retry budget. `Ok(None)`
@@ -260,6 +401,10 @@ impl Verifier {
                         return Ok(None);
                     }
                     remaining -= 1;
+                    obs::emit(ObsEvent::Retry {
+                        stage: "verify_attempt",
+                        attempt: self.max_transient_retries - remaining,
+                    });
                 }
                 Err(e) => return Err(e),
             }
@@ -306,6 +451,7 @@ impl Verifier {
             verdict: Verdict::Inconclusive(reason),
             record: None,
             extraction: Extraction::unavailable(t_pew),
+            resolution: Resolution::NoDecode,
         }
     }
 
@@ -336,6 +482,7 @@ impl Verifier {
                 verdict: Verdict::Counterfeit(CounterfeitReason::NoWatermark),
                 record: None,
                 extraction,
+                resolution: Resolution::NoDecode,
             });
         }
 
@@ -348,6 +495,7 @@ impl Verifier {
                 verdict: Verdict::Counterfeit(CounterfeitReason::SignatureMismatch),
                 record: None,
                 extraction,
+                resolution: Resolution::NoDecode,
             }),
             Some(record) => {
                 let verdict = if record.manufacturer_id != self.expected_manufacturer {
@@ -363,10 +511,35 @@ impl Verifier {
                     verdict,
                     record: Some(record),
                     extraction,
+                    resolution: Resolution::NoDecode,
                 })
             }
         }
     }
+}
+
+/// The obs-event outcome label for one ladder rung's report.
+fn rung_outcome(report: &VerificationReport) -> &'static str {
+    if report.record.is_some() {
+        "decoded"
+    } else if report.verdict == Verdict::Counterfeit(CounterfeitReason::NoWatermark) {
+        "no_watermark"
+    } else {
+        "no_decode"
+    }
+}
+
+/// Stamps the winning strategy on a finished report and emits the
+/// resolution + verdict obs events.
+fn finish(mut report: VerificationReport, resolution: Resolution) -> VerificationReport {
+    report.resolution = resolution;
+    obs::emit(ObsEvent::Resolution {
+        strategy: resolution.strategy(),
+    });
+    obs::emit(ObsEvent::Verdict {
+        verdict: report.verdict.name(),
+    });
+    report
 }
 
 /// The extraction window of an *imprinted* segment is not the 50 %
@@ -703,8 +876,19 @@ mod tests {
             ops: 0,
         };
         let v = Verifier::new(config(), MFG);
+        flashmark_obs::install(flashmark_obs::Collector::new(0));
         let report = v.verify_resilient(&mut flaky, SegmentAddr::new(0)).unwrap();
+        let collector = flashmark_obs::take().unwrap();
         assert_eq!(report.verdict, Verdict::Genuine);
+        // The nominal rung wins once the transient NAKs clear.
+        assert_eq!(report.resolution, Resolution::Ladder { offset_us: 0.0 });
+        assert_eq!(
+            report.summary(),
+            "genuine (resolved by ladder rung at +0.0 us)"
+        );
+        // The winning strategy is also surfaced as an obs event.
+        assert_eq!(collector.metrics().counter("resolution", "ladder"), 1);
+        assert!(collector.metrics().counter("retry", "verify_attempt") >= 1);
     }
 
     #[test]
@@ -724,6 +908,13 @@ mod tests {
         );
         assert!(report.record.is_none());
         assert_ne!(report.verdict, Verdict::Genuine);
+        // The losing strategy is named in the report and the verdict text.
+        assert_eq!(report.resolution, Resolution::RetriesExhausted);
+        assert_eq!(
+            report.summary(),
+            "inconclusive: transient faults persisted past the retry budget \
+             (resolved by transient retry budget exhausted)"
+        );
     }
 
     #[test]
@@ -742,11 +933,26 @@ mod tests {
             Verdict::Genuine,
             "a fully-drifted ladder must not decode directly"
         );
+        flashmark_obs::install(flashmark_obs::Collector::new(0));
         let report = drifted.verify_resilient(&mut f, seg).unwrap();
+        let collector = flashmark_obs::take().unwrap();
         assert_eq!(
             report.verdict,
             Verdict::Genuine,
             "re-characterization must recover the drifted window"
         );
+        // The fallback strategy (and its operating point) is surfaced.
+        assert!(
+            matches!(report.resolution, Resolution::Recharacterized { t_pew_us } if t_pew_us > 0.0),
+            "resolution was {:?}",
+            report.resolution
+        );
+        assert!(report.summary().contains("re-characterized window"));
+        assert_eq!(
+            collector.metrics().counter("resolution", "recharacterized"),
+            1
+        );
+        // Both published rungs were walked (and failed) before the fallback.
+        assert_eq!(collector.metrics().group_total("ladder"), 2);
     }
 }

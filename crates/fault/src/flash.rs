@@ -72,6 +72,32 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// Stable channel label (also the obs event payload).
+    #[must_use]
+    pub fn channel(&self) -> &'static str {
+        match self {
+            Self::TransientNak { .. } => "transient_nak",
+            Self::PowerLoss { .. } => "power_loss",
+            Self::ReadFlips { .. } => "read_flips",
+            Self::ReadDisturb { .. } => "read_disturb",
+            Self::TpewJitter { .. } => "tpew_jitter",
+        }
+    }
+
+    /// The injector operation index at which the fault fired.
+    #[must_use]
+    pub fn op(&self) -> u64 {
+        match self {
+            Self::TransientNak { op }
+            | Self::PowerLoss { op, .. }
+            | Self::ReadFlips { op, .. }
+            | Self::ReadDisturb { op, .. }
+            | Self::TpewJitter { op, .. } => *op,
+        }
+    }
+}
+
 /// A fault-injecting wrapper around any [`FlashInterface`].
 ///
 /// Stacks freely with the sanitizer: `FaultyFlash<SanitizedFlash<_>>` lets
@@ -165,6 +191,11 @@ impl<F: FlashInterface> FaultyFlash<F> {
     }
 
     fn push(&mut self, event: FaultEvent) {
+        // Every firing reaches the obs layer, even once the local log caps.
+        flashmark_obs::emit(flashmark_obs::ObsEvent::FaultFired {
+            channel: event.channel(),
+            op: event.op(),
+        });
         if self.events.len() < MAX_EVENTS {
             self.events.push(event);
         } else {

@@ -4,6 +4,8 @@
 //! real flash module has. All Flashmark algorithms drive this type through
 //! the [`FlashInterface`] trait.
 
+use flashmark_obs as obs;
+use flashmark_obs::{FlashOpKind, ObsEvent};
 use flashmark_physics::{Micros, PhysicsParams, Seconds};
 
 use crate::addr::{SegmentAddr, WordAddr};
@@ -163,6 +165,10 @@ impl FlashController {
             .advance(self.timings.setup_overhead + self.timings.mass_erase);
         self.counters.mass_erases += 1;
         self.trace.record(self.clock.now(), FlashEvent::MassErase);
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::MassErase,
+            seg: 0,
+        });
         Ok(())
     }
 
@@ -249,6 +255,10 @@ impl FlashInterface for FlashController {
         self.counters.word_reads += 1;
         self.trace
             .record(self.clock.now(), FlashEvent::ReadWord { word });
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::ReadWord,
+            seg: self.geometry().segment_of(word).index(),
+        });
         Ok(v)
     }
 
@@ -267,6 +277,10 @@ impl FlashInterface for FlashController {
                 },
             );
         }
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::ReadBlock,
+            seg: seg.index(),
+        });
         Ok(values)
     }
 
@@ -280,6 +294,10 @@ impl FlashInterface for FlashController {
         self.counters.word_programs += 1;
         self.trace
             .record(self.clock.now(), FlashEvent::ProgramWord { word });
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::ProgramWord,
+            seg: seg.index(),
+        });
         Ok(())
     }
 
@@ -304,6 +322,10 @@ impl FlashInterface for FlashController {
         self.counters.block_programs += 1;
         self.trace
             .record(self.clock.now(), FlashEvent::ProgramBlock { seg });
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::ProgramBlock,
+            seg: seg.index(),
+        });
         Ok(())
     }
 
@@ -316,6 +338,10 @@ impl FlashInterface for FlashController {
         self.counters.segment_erases += 1;
         self.trace
             .record(self.clock.now(), FlashEvent::EraseSegment { seg });
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::EraseSegment,
+            seg: seg.index(),
+        });
         Ok(())
     }
 
@@ -328,6 +354,10 @@ impl FlashInterface for FlashController {
         self.counters.partial_erases += 1;
         self.trace
             .record(self.clock.now(), FlashEvent::PartialErase { seg, t_pe });
+        obs::emit(ObsEvent::PartialErase {
+            seg: seg.index(),
+            t_pe_us: t_pe.get(),
+        });
         Ok(())
     }
 
@@ -350,6 +380,10 @@ impl FlashInterface for FlashController {
             self.clock.now(),
             FlashEvent::EraseUntilClean { seg, took: spent },
         );
+        obs::emit(ObsEvent::EraseUntilClean {
+            seg: seg.index(),
+            took_us: spent.get(),
+        });
         Ok(spent)
     }
 
@@ -365,6 +399,10 @@ impl PartialProgram for FlashController {
         self.clock
             .advance(self.timings.setup_overhead + t_pp + self.timings.abort_latency);
         self.counters.partial_programs += 1;
+        obs::emit(ObsEvent::FlashOp {
+            kind: FlashOpKind::PartialProgram,
+            seg: seg.index(),
+        });
         Ok(())
     }
 }
@@ -420,6 +458,10 @@ impl BulkStress for FlashController {
         self.counters.bulk_imprints += 1;
         self.trace
             .record(self.clock.now(), FlashEvent::BulkImprint { seg, cycles });
+        obs::emit(ObsEvent::BulkImprint {
+            seg: seg.index(),
+            cycles,
+        });
         Ok(self.clock.now() - start)
     }
 }

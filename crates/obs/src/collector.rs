@@ -1,0 +1,291 @@
+//! Per-trial event collection and order-independent metric aggregation.
+//!
+//! A [`Collector`] belongs to exactly one trial. It stamps every incoming
+//! event with a monotone per-trial `op_index`, keeps the newest events in a
+//! bounded ring buffer, and folds each event into deterministic counters
+//! and histograms ([`Metrics`]). Merging the metrics of many trials is a
+//! pointwise addition over `BTreeMap`s — commutative and associative — so
+//! an aggregate built from any merge order (and therefore any `--threads`)
+//! is identical as long as trials themselves are deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::event::ObsEvent;
+
+/// Default ring-buffer capacity for trial collectors.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Deterministic counters and histograms.
+///
+/// Counters are keyed `(group, name)` — e.g. `("flash", "erase_segment")`
+/// or `("verdict", "genuine")`. Histograms are keyed
+/// `(metric, integer_bucket)` — continuous quantities (µs values) are
+/// rounded to the nearest integer bucket at record time so aggregation
+/// never adds floats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<(&'static str, &'static str), u64>,
+    histograms: BTreeMap<(&'static str, i64), u64>,
+}
+
+impl Metrics {
+    /// An empty metric set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the `(group, name)` counter.
+    pub fn add(&mut self, group: &'static str, name: &'static str, n: u64) {
+        *self.counters.entry((group, name)).or_insert(0) += n;
+    }
+
+    /// Adds one observation to the `(metric, bucket)` histogram bin.
+    pub fn observe(&mut self, metric: &'static str, bucket: i64) {
+        *self.histograms.entry((metric, bucket)).or_insert(0) += 1;
+    }
+
+    /// The current value of a counter (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, group: &str, name: &str) -> u64 {
+        self.counters.get(&(group, name)).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters in a group.
+    #[must_use]
+    pub fn group_total(&self, group: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((g, _), _)| *g == group)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All counters in deterministic (sorted-key) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        self.counters.iter().map(|(&(g, n), &v)| (g, n, v))
+    }
+
+    /// All histogram bins in deterministic (sorted-key) order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, i64, u64)> + '_ {
+        self.histograms.iter().map(|(&(m, b), &v)| (m, b, v))
+    }
+
+    /// Pointwise-adds `other` into `self`.
+    ///
+    /// This is the merge operation trial aggregation uses; it is
+    /// commutative and associative, which is what makes the aggregated
+    /// report independent of worker scheduling.
+    pub fn absorb(&mut self, other: &Metrics) {
+        for (&key, &v) in &other.counters {
+            *self.counters.entry(key).or_insert(0) += v;
+        }
+        for (&key, &v) in &other.histograms {
+            *self.histograms.entry(key).or_insert(0) += v;
+        }
+    }
+
+    /// True when no counter or histogram bin has been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Rounds a microsecond quantity to its integer histogram bucket.
+fn us_bucket(us: f64) -> i64 {
+    us.round() as i64
+}
+
+/// A bounded, per-trial event collector.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    trial_index: u64,
+    capacity: usize,
+    next_op: u64,
+    events: VecDeque<(u64, ObsEvent)>,
+    dropped: u64,
+    metrics: Metrics,
+}
+
+impl Collector {
+    /// A collector with the default ring capacity.
+    #[must_use]
+    pub fn new(trial_index: u64) -> Self {
+        Self::with_capacity(trial_index, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A collector keeping at most `capacity` events (the newest win; a
+    /// `dropped` counter records evictions). `capacity == 0` keeps metrics
+    /// only.
+    #[must_use]
+    pub fn with_capacity(trial_index: u64, capacity: usize) -> Self {
+        Self {
+            trial_index,
+            capacity,
+            next_op: 0,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Records one event: stamps the op index, folds the event into the
+    /// metrics, and appends it to the ring (evicting the oldest if full).
+    pub fn record(&mut self, event: ObsEvent) {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.fold(&event);
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((op, event));
+    }
+
+    fn fold(&mut self, event: &ObsEvent) {
+        match *event {
+            ObsEvent::FlashOp { kind, .. } => self.metrics.add("flash", kind.name(), 1),
+            ObsEvent::PartialErase { t_pe_us, .. } => {
+                self.metrics.add("flash", "partial_erase", 1);
+                self.metrics.observe("t_pe_us", us_bucket(t_pe_us));
+            }
+            ObsEvent::EraseUntilClean { took_us, .. } => {
+                self.metrics.add("flash", "erase_until_clean", 1);
+                self.metrics
+                    .observe("erase_until_clean_us", us_bucket(took_us));
+            }
+            ObsEvent::BulkImprint { cycles, .. } => {
+                self.metrics.add("flash", "bulk_imprint", 1);
+                self.metrics.add("wear", "bulk_cycles", cycles);
+            }
+            ObsEvent::SpanEnter { name } => self.metrics.add("span", name, 1),
+            ObsEvent::SpanExit { .. } => {}
+            ObsEvent::Retry { stage, .. } => self.metrics.add("retry", stage, 1),
+            ObsEvent::LadderRung { offset_us, outcome } => {
+                self.metrics.add("ladder", outcome, 1);
+                self.metrics
+                    .observe("ladder_offset_us", us_bucket(offset_us));
+            }
+            ObsEvent::Resolution { strategy } => self.metrics.add("resolution", strategy, 1),
+            ObsEvent::FaultFired { channel, .. } => self.metrics.add("fault", channel, 1),
+            ObsEvent::SanitizerViolation { kind, .. } => self.metrics.add("sanitizer", kind, 1),
+            ObsEvent::SweepWidth { width_us, points } => {
+                self.metrics.add("sweep", "runs", 1);
+                self.metrics.add("sweep", "points", u64::from(points));
+                self.metrics.observe("sweep_width_us", us_bucket(width_us));
+            }
+            ObsEvent::Verdict { verdict } => self.metrics.add("verdict", verdict, 1),
+        }
+    }
+
+    /// The trial this collector belongs to.
+    #[must_use]
+    pub fn trial_index(&self) -> u64 {
+        self.trial_index
+    }
+
+    /// Total events this trial emitted (including evicted ones).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.next_op
+    }
+
+    /// Events evicted from (or refused by) the ring.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained `(op_index, event)` timeline, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = (u64, &ObsEvent)> + '_ {
+        self.events.iter().map(|(op, e)| (*op, e))
+    }
+
+    /// This trial's folded metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FlashOpKind;
+
+    fn erase(seg: u32) -> ObsEvent {
+        ObsEvent::FlashOp {
+            kind: FlashOpKind::EraseSegment,
+            seg,
+        }
+    }
+
+    #[test]
+    fn op_indices_are_monotone_and_metrics_fold() {
+        let mut c = Collector::new(7);
+        c.record(erase(0));
+        c.record(ObsEvent::PartialErase {
+            seg: 0,
+            t_pe_us: 27.6,
+        });
+        c.record(ObsEvent::Verdict { verdict: "genuine" });
+        let ops: Vec<u64> = c.events().map(|(op, _)| op).collect();
+        assert_eq!(ops, vec![0, 1, 2]);
+        assert_eq!(c.metrics().counter("flash", "erase_segment"), 1);
+        assert_eq!(c.metrics().counter("flash", "partial_erase"), 1);
+        assert_eq!(c.metrics().counter("verdict", "genuine"), 1);
+        // 27.6 µs rounds into the 28 µs bucket.
+        assert_eq!(
+            c.metrics()
+                .histograms()
+                .find(|(m, _, _)| *m == "t_pe_us")
+                .map(|(_, b, n)| (b, n)),
+            Some((28, 1))
+        );
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut c = Collector::with_capacity(0, 2);
+        for seg in 0..5 {
+            c.record(erase(seg));
+        }
+        let kept: Vec<u64> = c.events().map(|(op, _)| op).collect();
+        assert_eq!(kept, vec![3, 4]);
+        assert_eq!(c.dropped(), 3);
+        assert_eq!(c.ops(), 5);
+        // Metrics still saw everything.
+        assert_eq!(c.metrics().counter("flash", "erase_segment"), 5);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_metrics_only() {
+        let mut c = Collector::with_capacity(0, 0);
+        c.record(erase(0));
+        assert_eq!(c.events().count(), 0);
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.metrics().counter("flash", "erase_segment"), 1);
+    }
+
+    #[test]
+    fn absorb_is_a_pointwise_sum() {
+        let mut a = Metrics::new();
+        a.add("flash", "erase_segment", 2);
+        a.observe("t_pe_us", 28);
+        let mut b = Metrics::new();
+        b.add("flash", "erase_segment", 3);
+        b.add("verdict", "genuine", 1);
+        b.observe("t_pe_us", 28);
+        b.observe("t_pe_us", 32);
+        a.absorb(&b);
+        assert_eq!(a.counter("flash", "erase_segment"), 5);
+        assert_eq!(a.counter("verdict", "genuine"), 1);
+        let bins: Vec<_> = a.histograms().collect();
+        assert_eq!(bins, vec![("t_pe_us", 28, 2), ("t_pe_us", 32, 1)]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property test of the aggregation law the observability layer rests on:
+//! merging per-trial [`Metrics`] is order-independent, so the merged
+//! report cannot depend on which worker thread finished first.
+
+use proptest::prelude::*;
+
+use flashmark_obs::Metrics;
+
+const GROUPS: [&str; 4] = ["flash", "retry", "verdict", "fault"];
+const NAMES: [&str; 4] = ["read_word", "erase_segment", "genuine", "read_flips"];
+const METRICS: [&str; 3] = ["t_pe_us", "ladder_offset_us", "sweep_width_us"];
+
+/// Builds one trial's metrics from an encoded operation list. Each `u64`
+/// decodes to either a counter add or a histogram observation, so the
+/// proptest strategy stays a plain integer vector.
+fn metrics_from_ops(ops: &[u64]) -> Metrics {
+    let mut m = Metrics::new();
+    for &op in ops {
+        if op % 2 == 0 {
+            let group = GROUPS[(op >> 1) as usize % GROUPS.len()];
+            let name = NAMES[(op >> 3) as usize % NAMES.len()];
+            m.add(group, name, op >> 5 & 0xF);
+        } else {
+            let metric = METRICS[(op >> 1) as usize % METRICS.len()];
+            // Buckets include negative values (ladder offsets below the
+            // recipe window).
+            let bucket = ((op >> 3) as i64 % 101) - 50;
+            m.observe(metric, bucket);
+        }
+    }
+    m
+}
+
+/// Splits the flat op list into per-trial chunks and returns each trial's
+/// folded metrics.
+fn trials(ops: &[u64], chunk: usize) -> Vec<Metrics> {
+    ops.chunks(chunk.max(1)).map(metrics_from_ops).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forward merge, reverse merge, and a two-phase tree merge of the
+    /// same per-trial metrics all agree — absorb is commutative and
+    /// associative.
+    #[test]
+    fn metric_merge_is_order_independent(
+        ops in collection::vec(any::<u64>(), 0..200),
+        chunk in 1usize..17,
+    ) {
+        let per_trial = trials(&ops, chunk);
+
+        let mut forward = Metrics::new();
+        for m in &per_trial {
+            forward.absorb(m);
+        }
+
+        let mut reverse = Metrics::new();
+        for m in per_trial.iter().rev() {
+            reverse.absorb(m);
+        }
+
+        // Tree merge: pair adjacent trials first, then fold the pairs.
+        let mut tree = Metrics::new();
+        for pair in per_trial.chunks(2) {
+            let mut partial = Metrics::new();
+            for m in pair {
+                partial.absorb(m);
+            }
+            tree.absorb(&partial);
+        }
+
+        prop_assert_eq!(&forward, &reverse);
+        prop_assert_eq!(&forward, &tree);
+    }
+
+    /// Absorbing an empty metric set is a no-op in either direction.
+    #[test]
+    fn empty_is_the_merge_identity(ops in collection::vec(any::<u64>(), 0..100)) {
+        let m = metrics_from_ops(&ops);
+        let mut left = Metrics::new();
+        left.absorb(&m);
+        let mut right = m.clone();
+        right.absorb(&Metrics::new());
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+}

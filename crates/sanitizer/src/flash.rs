@@ -246,6 +246,12 @@ impl<I: FlashInterface> SanitizedFlash<I> {
     }
 
     fn report(&mut self, op: &'static str, kind: ViolationKind) {
+        // Violations are re-emitted as obs events under every policy, so an
+        // instrumented trial sees them even when the local log is the sink.
+        flashmark_obs::emit(flashmark_obs::ObsEvent::SanitizerViolation {
+            kind: kind.name(),
+            op,
+        });
         let violation = Violation {
             kind,
             op,
@@ -254,11 +260,7 @@ impl<I: FlashInterface> SanitizedFlash<I> {
         };
         match self.policy {
             Policy::Panic => panic!("flash-protocol violation: {violation}"),
-            Policy::Log => {
-                eprintln!("sanitizer: {violation}");
-                self.collect(violation);
-            }
-            Policy::Collect => self.collect(violation),
+            Policy::Log | Policy::Collect => self.collect(violation),
         }
     }
 

@@ -15,7 +15,9 @@ pub enum Policy {
     /// [`SanitizedFlash::violations`](crate::SanitizedFlash::violations).
     #[default]
     Collect,
-    /// Record the violation and also print it to stderr as it happens.
+    /// Record the violation and also emit it eagerly (as an observability
+    /// event) as it happens. Library code never prints; attach an obs
+    /// collector to see violations live.
     Log,
 }
 
@@ -113,6 +115,22 @@ pub enum ViolationKind {
         /// Mean wear cycles observed now.
         observed: f64,
     },
+}
+
+impl ViolationKind {
+    /// Stable kind label (also the obs event payload).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Overprogram { .. } => "overprogram",
+            Self::CumulativeProgramTime { .. } => "cumulative_program_time",
+            Self::LockedOperation => "locked_operation",
+            Self::SegmentOutOfRange { .. } => "segment_out_of_range",
+            Self::WordOutOfRange { .. } => "word_out_of_range",
+            Self::PartialEraseOrder { .. } => "partial_erase_order",
+            Self::WearDecrease { .. } => "wear_decrease",
+        }
+    }
 }
 
 impl fmt::Display for ViolationKind {

@@ -20,6 +20,9 @@
 //!    through the deterministic `TrialRunner`, which owns the
 //!    merge-in-trial-order guarantee that keeps parallel runs
 //!    bit-identical to serial ones.
+//! 6. **print-discipline** — no `println!` / `eprintln!` in library
+//!    crates: libraries report through typed results and `flashmark_obs`
+//!    events; only the bench harness and this xtask own stdout/stderr.
 //!
 //! Test modules (`#[cfg(test)]`), comments, and string literals are
 //! excluded from pattern scanning.
@@ -39,6 +42,8 @@ pub(crate) enum Rule {
     MissingDocs,
     /// No raw thread spawning outside `crates/par`.
     ThreadDiscipline,
+    /// No direct printing from library crates.
+    PrintDiscipline,
 }
 
 impl fmt::Display for Rule {
@@ -49,6 +54,7 @@ impl fmt::Display for Rule {
             Self::Nondeterminism => "nondeterminism",
             Self::MissingDocs => "missing-docs",
             Self::ThreadDiscipline => "thread-discipline",
+            Self::PrintDiscipline => "print-discipline",
         };
         f.write_str(s)
     }
@@ -90,6 +96,8 @@ pub(crate) struct RuleSet {
     pub(crate) missing_docs: bool,
     /// Apply the thread-discipline rule.
     pub(crate) thread_discipline: bool,
+    /// Apply the print-discipline rule.
+    pub(crate) print_discipline: bool,
 }
 
 /// Scope for a workspace-relative path like `crates/nor/src/controller.rs`.
@@ -119,12 +127,17 @@ pub(crate) fn rules_for(path: &str) -> Option<RuleSet> {
     // `crates/par` is the one sanctioned home for worker threads; every
     // other crate must fan out through its deterministic `TrialRunner`.
     let thread_discipline = crate_dir != "par";
+    // Library crates never print: diagnostics flow through typed errors
+    // and `flashmark_obs` events. The bench harness owns its stdout and
+    // this xtask must spell the forbidden patterns.
+    let print_discipline = !matches!(crate_dir, "bench" | "xtask");
     Some(RuleSet {
         panic_free,
         float_eq,
         nondeterminism,
         missing_docs: true,
         thread_discipline,
+        print_discipline,
     })
 }
 
@@ -155,6 +168,9 @@ pub(crate) fn lint_source(file: &str, source: &str, rules: RuleSet) -> Vec<Findi
         }
         if rules.thread_discipline {
             check_thread_discipline(file, line_no, stripped, &mut findings);
+        }
+        if rules.print_discipline {
+            check_print_discipline(file, line_no, stripped, &mut findings);
         }
     }
     findings
@@ -350,6 +366,31 @@ fn check_thread_discipline(file: &str, line_no: usize, code: &str, findings: &mu
     }
 }
 
+const PRINT_PATTERNS: [&str; 2] = ["println!", "eprintln!"];
+
+fn check_print_discipline(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
+    // `eprintln!` contains `println!` as a substring; blank it out before
+    // the `println!` scan so one macro reports under one name.
+    let sans_eprintln = code.replace("eprintln!", "");
+    for pat in PRINT_PATTERNS {
+        let scanned = if pat == "println!" {
+            sans_eprintln.as_str()
+        } else {
+            code
+        };
+        if scanned.contains(pat) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                rule: Rule::PrintDiscipline,
+                message: format!(
+                    "`{pat}` in a library crate: report through typed results or emit a `flashmark_obs` event; only bench/xtask own stdout"
+                ),
+            });
+        }
+    }
+}
+
 /// Characters that may appear in a comparison operand token.
 fn is_operand_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '(' | ')' | '[' | ']' | ':')
@@ -499,6 +540,7 @@ mod tests {
         nondeterminism: true,
         missing_docs: true,
         thread_discipline: true,
+        print_discipline: true,
     };
 
     fn rules_of(findings: &[Finding]) -> Vec<Rule> {
@@ -518,6 +560,11 @@ mod tests {
         );
         let bench = rules_for("crates/bench/src/microbench.rs").unwrap();
         assert!(!bench.nondeterminism && !bench.panic_free);
+        assert!(!bench.print_discipline, "the bench harness owns its stdout");
+        assert!(
+            nor.print_discipline && physics.print_discipline,
+            "library crates never print"
+        );
         assert!(
             bench.thread_discipline,
             "even the bench harness must go through TrialRunner"
@@ -595,6 +642,17 @@ mod tests {
         // `thread::scope` through the par crate's runner is the sanctioned
         // shape and must not be flagged anywhere.
         let ok = "/// D.\npub fn g(r: &TrialRunner) {\n    let _ = r.threads();\n}\n";
+        assert!(lint_source("x.rs", ok, NOR_RULES).is_empty());
+    }
+
+    #[test]
+    fn flags_library_prints() {
+        let src = "/// D.\npub fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
+        let f = lint_source("x.rs", src, NOR_RULES);
+        assert_eq!(rules_of(&f), vec![Rule::PrintDiscipline; 2]);
+        assert_eq!(f[0].line, 3);
+        // `writeln!` into a buffer the caller owns is fine.
+        let ok = "/// D.\npub fn g(out: &mut String) {\n    let _ = writeln!(out, \"z\");\n}\n";
         assert!(lint_source("x.rs", ok, NOR_RULES).is_empty());
     }
 
