@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness regenerating every quantitative figure and table of
 //! the Flashmark paper.
 //!

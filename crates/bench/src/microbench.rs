@@ -91,6 +91,7 @@ impl Bench {
             median_s: per_iter[per_iter.len() / 2],
             mean_s: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
         };
+        // flashmark-lint: allow(print-discipline) -- live micro-benchmark progress meter; the harness binary owns this stdout
         println!(
             "{}/{:<32} min {:>12}  median {:>12}  mean {:>12}",
             self.group,

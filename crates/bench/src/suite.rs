@@ -139,11 +139,13 @@ fn step<F>(
 ) where
     F: FnOnce(&mut String) -> StepResult,
 {
+    // flashmark-lint: allow(print-discipline) -- suite progress ticker on stderr; artifacts stay deterministic on stdout/disk
     eprintln!("[{:>2}] {name} ...", outcomes.len() + 1);
     let t0 = Instant::now();
     let error = f(md).err().map(|e| e.to_string());
     let wall_s = t0.elapsed().as_secs_f64();
     if let Some(e) = &error {
+        // flashmark-lint: allow(print-discipline) -- failure surfaced live on stderr as well as in the outcome record
         eprintln!("     {name} FAILED: {e}");
     }
     outcomes.push(ExperimentOutcome {
@@ -708,6 +710,7 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
     // wall times. Smoke runs skip it so reduced-profile artifacts never
     // overwrite the committed baseline.
     if opts.profile == Profile::Full {
+        // flashmark-lint: allow(print-discipline) -- progress ticker on stderr; artifacts stay deterministic on stdout/disk
         eprintln!("[  ] kernel micro-benchmarks ...");
         let mut rt = kernel_suite();
         for o in &outcomes {

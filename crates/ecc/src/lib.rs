@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Error-correction and integrity codes for flash watermarks.
 //!
 //! The paper hardens watermark extraction with **data replication plus

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic fault injection for the Flashmark flash emulation.
 //!
 //! The paper's robustness story (Figs. 9–11: replication + majority voting

@@ -1,0 +1,78 @@
+//! Map-order determinism.
+//!
+//! `HashMap`/`HashSet` iteration order is randomized per process; one
+//! stray iteration feeding a report, artifact, or serialization path
+//! breaks the byte-identical guarantee the whole harness is built on.
+//! The repo-wide rule is therefore structural: hash-ordered containers
+//! are banned outright in workspace code — `BTreeMap`/`BTreeSet` provide
+//! the same API with deterministic order (as `crates/obs` already
+//! demonstrates), and genuinely order-free hot paths can carry a
+//! justified suppression.
+
+use crate::finding::{Finding, Rule};
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Structure;
+
+/// Banned hash-ordered container type names.
+const HASH_CONTAINERS: [&str; 3] = ["HashMap", "HashSet", "RandomState"];
+
+/// Flags every mention of a hash-ordered container in live code.
+pub fn map_order(file: &str, tokens: &[Token], structure: &Structure, findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !t.is_code() || !structure.is_live_code(i) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident && HASH_CONTAINERS.contains(&t.text.as_str()) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::MapOrder,
+                message: format!(
+                    "`{}` in workspace code: hash iteration order is nondeterministic and can reach artifact/report paths — use `BTreeMap`/`BTreeSet` (pattern: crates/obs metrics)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let tokens = lex(src);
+        let structure = Structure::analyze(&tokens);
+        let mut findings = Vec::new();
+        map_order("x.rs", &tokens, &structure, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn hash_containers_are_flagged() {
+        let f = run(
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert_eq!(
+            f.len(),
+            3,
+            "import, annotation, and constructor each flagged"
+        );
+        assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn btree_containers_are_clean() {
+        assert!(
+            run("use std::collections::BTreeMap;\nfn f() { let m = BTreeMap::new(); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn tests_and_strings_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod t { use std::collections::HashSet; }").is_empty());
+        assert!(run("fn f() { let s = \"HashMap\"; }").is_empty());
+    }
+}

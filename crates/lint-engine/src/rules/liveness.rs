@@ -1,0 +1,201 @@
+//! Pub-API liveness: `pub` items nothing in the workspace ever names.
+//!
+//! The reference index counts every identifier occurrence across **all**
+//! workspace Rust sources — library code, binary targets, integration
+//! tests, examples — plus identifier-shaped words inside doc comments (so
+//! API demonstrated only in doc examples stays live). A `pub` item is
+//! dead when the workspace-wide occurrence count of its name does not
+//! exceed the number of definition sites carrying that name: nothing but
+//! the definitions themselves ever says the name.
+//!
+//! Matching is by bare name, which is deliberately conservative: common
+//! method names (`new`, `len`, `get`) are trivially live, so the rule
+//! only surfaces API whose name appears nowhere else at all — exactly the
+//! exports that should be demoted to `pub(crate)` or deleted.
+
+use std::collections::BTreeMap;
+
+use crate::finding::{Finding, Rule};
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Structure;
+
+/// Item keywords that can follow `pub` and define a named item.
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+];
+
+/// One `pub` item definition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubDef {
+    /// Defining file (workspace-relative).
+    pub file: String,
+    /// Line of the `pub` keyword.
+    pub line: u32,
+    /// Item keyword (`fn`, `struct`, …).
+    pub kw: String,
+    /// Item name.
+    pub name: String,
+}
+
+/// The cross-file identifier occurrence index.
+#[derive(Debug, Default)]
+pub struct ReferenceIndex {
+    counts: BTreeMap<String, usize>,
+}
+
+impl ReferenceIndex {
+    /// Folds one file's tokens into the index: every code identifier plus
+    /// every identifier-shaped word inside doc comments.
+    pub fn add_file(&mut self, tokens: &[Token]) {
+        for t in tokens {
+            match t.kind {
+                TokenKind::Ident => {
+                    *self.counts.entry(t.text.clone()).or_insert(0) += 1;
+                }
+                TokenKind::DocComment | TokenKind::BlockComment => {
+                    for word in t
+                        .text
+                        .split(|c: char| !(c == '_' || c.is_alphanumeric()))
+                        .filter(|w| !w.is_empty())
+                    {
+                        *self.counts.entry(word.to_string()).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Occurrences of a name across the workspace.
+    #[must_use]
+    pub fn occurrences(&self, name: &str) -> usize {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Collects `pub` item definitions from one file's live code.
+#[must_use]
+pub fn collect_defs(file: &str, tokens: &[Token], structure: &Structure) -> Vec<PubDef> {
+    let mut defs = Vec::new();
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].is_code() && structure.is_live_code(i))
+        .collect();
+    for (pos, &i) in code.iter().enumerate() {
+        if !tokens[i].is_ident("pub") {
+            continue;
+        }
+        let Some(&kw_i) = code.get(pos + 1) else {
+            continue;
+        };
+        let kw = &tokens[kw_i];
+        if kw.kind != TokenKind::Ident || !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            continue;
+        }
+        let Some(&name_i) = code.get(pos + 2) else {
+            continue;
+        };
+        let name = &tokens[name_i];
+        if name.kind != TokenKind::Ident {
+            continue;
+        }
+        if name.text == "main" || name.text.starts_with('_') {
+            continue;
+        }
+        defs.push(PubDef {
+            file: file.to_string(),
+            line: tokens[i].line,
+            kw: kw.text.clone(),
+            name: name.text.clone(),
+        });
+    }
+    defs
+}
+
+/// Emits a finding for every definition whose name the workspace never
+/// mentions outside definition sites.
+pub fn check(defs: &[PubDef], index: &ReferenceIndex, findings: &mut Vec<Finding>) {
+    let mut def_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in defs {
+        *def_counts.entry(d.name.as_str()).or_insert(0) += 1;
+    }
+    for d in defs {
+        let defs_of_name = def_counts.get(d.name.as_str()).copied().unwrap_or(1);
+        // Each definition site contributes one occurrence of the name (the
+        // definition token itself); anything beyond that is a real use.
+        if index.occurrences(&d.name) <= defs_of_name {
+            findings.push(Finding {
+                file: d.file.clone(),
+                line: d.line,
+                rule: Rule::PubLiveness,
+                message: format!(
+                    "pub {} `{}` is never referenced anywhere else in the workspace (code, tests, examples, or docs) — demote to pub(crate) or remove",
+                    d.kw, d.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(src: &str) -> (Vec<Token>, Structure) {
+        let tokens = lex(src);
+        let structure = Structure::analyze(&tokens);
+        (tokens, structure)
+    }
+
+    #[test]
+    fn dead_pub_item_is_flagged() {
+        let (tok_a, s_a) = analyze("/// D.\npub fn orphan_api() {}\n/// D.\npub fn used_api() {}");
+        let (tok_b, _) = analyze("fn main() { used_api(); }");
+        let mut index = ReferenceIndex::default();
+        index.add_file(&tok_a);
+        index.add_file(&tok_b);
+        let defs = collect_defs("a.rs", &tok_a, &s_a);
+        assert_eq!(defs.len(), 2);
+        let mut findings = Vec::new();
+        check(&defs, &index, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("orphan_api"));
+    }
+
+    #[test]
+    fn doc_example_keeps_item_live() {
+        let src = "/// Use [`special_entry`] for this.\npub fn special_entry() {}";
+        let (tokens, structure) = analyze(src);
+        let mut index = ReferenceIndex::default();
+        index.add_file(&tokens);
+        let defs = collect_defs("a.rs", &tokens, &structure);
+        let mut findings = Vec::new();
+        check(&defs, &index, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn multiple_defs_of_same_name_need_an_external_use() {
+        // Two types each define `pub fn reset`; no caller anywhere.
+        let (tok, s) = analyze("/// D.\npub fn reset() {}\nmod b { /// D.\n pub fn reset() {} }");
+        let mut index = ReferenceIndex::default();
+        index.add_file(&tok);
+        let defs = collect_defs("a.rs", &tok, &s);
+        assert_eq!(defs.len(), 2);
+        let mut findings = Vec::new();
+        check(&defs, &index, &mut findings);
+        assert_eq!(findings.len(), 2, "doc comments say `D`, not `reset`");
+    }
+
+    #[test]
+    fn pub_crate_items_are_not_collected() {
+        let (tok, s) = analyze("pub(crate) fn internal() {}");
+        assert!(collect_defs("a.rs", &tok, &s).is_empty());
+    }
+
+    #[test]
+    fn test_region_defs_are_not_collected() {
+        let (tok, s) = analyze("#[cfg(test)]\nmod t { pub fn helper() {} }");
+        assert!(collect_defs("a.rs", &tok, &s).is_empty());
+    }
+}

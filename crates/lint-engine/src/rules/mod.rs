@@ -1,0 +1,88 @@
+//! Rule passes.
+//!
+//! Each pass walks the token stream (plus the [`Structure`] facts) of one
+//! file; [`liveness`] additionally runs as a workspace-level pass over a
+//! cross-file reference index. Every pass skips comment/string tokens and
+//! `#[cfg(test)]` / `macro_rules!` regions through [`Structure`], which is
+//! what the old line-oriented scanner could only approximate.
+
+pub mod classic;
+pub mod containers;
+pub mod dataflow;
+pub mod liveness;
+pub mod unsafety;
+
+use crate::finding::Finding;
+use crate::lexer::Token;
+use crate::scope::{FileScope, Structure};
+
+/// Which rule families apply to one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleSet {
+    /// Panic-free hot paths.
+    pub panic_free: bool,
+    /// No exact f64 equality.
+    pub float_eq: bool,
+    /// No wall clock / OS randomness.
+    pub nondeterminism: bool,
+    /// Public items documented.
+    pub missing_docs: bool,
+    /// No raw thread spawning.
+    pub thread_discipline: bool,
+    /// No library printing.
+    pub print_discipline: bool,
+    /// RNG constructions derive from seed parameters.
+    pub seed_dataflow: bool,
+    /// No hash-ordered containers.
+    pub map_order: bool,
+    /// No ad-hoc float accumulation in merge code.
+    pub merge_commutativity: bool,
+    /// `unsafe` / unchecked inventory + `forbid(unsafe_code)` presence.
+    pub unsafe_audit: bool,
+    /// Wrapping-arithmetic inventory (physics/core numeric code).
+    pub wrapping_audit: bool,
+    /// Definitions participate in the workspace pub-liveness pass.
+    pub pub_liveness: bool,
+}
+
+/// Runs every per-file pass enabled for the file.
+#[must_use]
+pub fn run_file(scope: &FileScope, tokens: &[Token], structure: &Structure) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let r = scope.rules;
+    let path = scope.path.as_str();
+    if r.panic_free {
+        classic::panic_free(path, tokens, structure, &mut findings);
+    }
+    if r.float_eq {
+        classic::float_eq(path, tokens, structure, &mut findings);
+    }
+    if r.nondeterminism {
+        classic::nondeterminism(path, tokens, structure, &mut findings);
+    }
+    if r.missing_docs {
+        classic::missing_docs(path, tokens, structure, &mut findings);
+    }
+    if r.thread_discipline {
+        classic::thread_discipline(path, tokens, structure, &mut findings);
+    }
+    if r.print_discipline {
+        classic::print_discipline(path, tokens, structure, &mut findings);
+    }
+    if r.seed_dataflow {
+        dataflow::seed_dataflow(path, tokens, structure, &mut findings);
+    }
+    if r.map_order {
+        containers::map_order(path, tokens, structure, &mut findings);
+    }
+    if r.merge_commutativity {
+        dataflow::merge_commutativity(path, tokens, structure, &mut findings);
+    }
+    if r.unsafe_audit {
+        unsafety::unsafe_audit(scope, tokens, structure, &mut findings);
+    }
+    if r.wrapping_audit {
+        unsafety::wrapping_audit(path, tokens, structure, &mut findings);
+    }
+    findings
+}

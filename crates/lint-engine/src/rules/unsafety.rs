@@ -1,0 +1,182 @@
+//! The unsafe/unchecked audit.
+//!
+//! The workspace is 100% safe Rust today; the upcoming SIMD kernels
+//! (ROADMAP item 2) will change that, and this rule keeps the inventory
+//! mechanical instead of tribal:
+//!
+//! * every `unsafe` block/fn/impl in live code is a finding (additions
+//!   must be explicitly suppressed with a safety justification or
+//!   baselined — either way they are on the books);
+//! * unchecked access (`get_unchecked`, `unwrap_unchecked`, …) likewise;
+//! * every crate root must carry `#![forbid(unsafe_code)]` until the day
+//!   it deliberately opts out (the attribute's *absence* is the finding);
+//! * wrapping arithmetic is inventoried in the numeric simulation crates
+//!   (`physics`, `core`) where silent wraparound corrupts physics, while
+//!   checksum/hash code elsewhere wraps by design.
+
+use crate::finding::{Finding, Rule};
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{FileScope, Structure};
+
+/// Unchecked-access method names.
+const UNCHECKED: [&str; 6] = [
+    "get_unchecked",
+    "get_unchecked_mut",
+    "unwrap_unchecked",
+    "from_utf8_unchecked",
+    "unchecked_add",
+    "unchecked_mul",
+];
+
+/// Whether a path is a crate root that must carry the forbid attribute.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && (path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs"))
+            && path.matches('/').count() == 3)
+}
+
+/// Whether the token stream contains `#![forbid(unsafe_code)]` (or a
+/// `forbid` list naming `unsafe_code`).
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.iter().enumerate().any(|(i, t)| {
+        t.is_ident("forbid")
+            && tokens[i + 1..]
+                .iter()
+                .filter(|n| n.is_code())
+                .take(8)
+                .any(|n| n.is_ident("unsafe_code"))
+    })
+}
+
+/// `unsafe` keyword and unchecked-access inventory, plus the crate-root
+/// `#![forbid(unsafe_code)]` presence check.
+pub fn unsafe_audit(
+    scope: &FileScope,
+    tokens: &[Token],
+    structure: &Structure,
+    findings: &mut Vec<Finding>,
+) {
+    let file = scope.path.as_str();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_code() || !structure.is_live_code(i) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "unsafe" {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::UnsafeAudit,
+                message: "`unsafe` in workspace code: every unsafe region must be inventoried — suppress with a safety justification or remove".to_string(),
+            });
+        } else if UNCHECKED.contains(&t.text.as_str()) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::UnsafeAudit,
+                message: format!(
+                    "`{}`: unchecked access in workspace code — prove the bound with a checked form or suppress with a safety justification",
+                    t.text
+                ),
+            });
+        }
+    }
+    if is_crate_root(file) && !has_forbid_unsafe(tokens) {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: Rule::UnsafeAudit,
+            message: "crate root missing `#![forbid(unsafe_code)]`: every crate stays provably safe until it deliberately opts out".to_string(),
+        });
+    }
+}
+
+/// Wrapping-arithmetic inventory for numeric simulation code.
+pub fn wrapping_audit(
+    file: &str,
+    tokens: &[Token],
+    structure: &Structure,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_code() || !structure.is_live_code(i) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text.starts_with("wrapping_") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::UnsafeAudit,
+                message: format!(
+                    "`{}` in numeric simulation code: silent wraparound corrupts physics — use checked/saturating arithmetic or suppress with a justification",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::FileScope;
+
+    fn run_audit(path: &str, src: &str) -> Vec<Finding> {
+        let scope = FileScope::classify(path).unwrap();
+        let tokens = lex(src);
+        let structure = Structure::analyze(&tokens);
+        let mut findings = Vec::new();
+        unsafe_audit(&scope, &tokens, &structure, &mut findings);
+        findings
+    }
+
+    const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+    #[test]
+    fn unsafe_keyword_is_inventoried() {
+        let f = run_audit(
+            "crates/nor/src/array.rs",
+            "fn f(xs: &[u8]) { let x = unsafe { xs.get_unchecked(0) }; }",
+        );
+        assert_eq!(f.len(), 2, "unsafe block and unchecked access");
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_attribute() {
+        let f = run_audit("crates/nor/src/lib.rs", "//! Docs.\npub mod array;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("forbid(unsafe_code)"));
+        let clean = format!("{FORBID}//! Docs.\npub mod array;\n");
+        assert!(run_audit("crates/nor/src/lib.rs", &clean).is_empty());
+    }
+
+    #[test]
+    fn non_roots_do_not_need_the_attribute() {
+        assert!(run_audit("crates/nor/src/array.rs", "fn f() {}").is_empty());
+        assert!(run_audit("crates/bench/src/bin/run_all.rs", "fn main() {}").is_empty());
+    }
+
+    #[test]
+    fn wrapping_scoped_to_numeric_crates() {
+        let tokens = lex("fn f(a: u64) -> u64 { a.wrapping_mul(3) }");
+        let structure = Structure::analyze(&tokens);
+        let mut findings = Vec::new();
+        wrapping_audit(
+            "crates/physics/src/erase.rs",
+            &tokens,
+            &structure,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_test_is_exempt() {
+        let clean = format!("{FORBID}fn f() {{ let s = \"unsafe\"; }}");
+        assert!(run_audit("crates/nor/src/lib.rs", &clean).is_empty());
+        let test_only =
+            format!("{FORBID}#[cfg(test)]\nmod t {{ fn g() {{ let x = unsafe {{ 1 }}; }} }}");
+        assert!(run_audit("crates/nor/src/lib.rs", &test_only).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: map-order violations — hash-ordered containers.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Collects per-segment counts into a hash map (iteration order random).
+pub fn tally(segs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &s in segs {
+        *m.entry(s).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Deduplicates addresses with a hash set.
+pub fn dedup(addrs: &[u32]) -> HashSet<u32> {
+    addrs.iter().copied().collect()
+}

@@ -1,0 +1,26 @@
+//! Fixture: merge-commutativity violations — ad-hoc float accumulation.
+
+/// Merges one shard of metrics into the aggregate.
+pub fn merge_shard(total: &mut Totals, shard: &Totals) {
+    total.trials += shard.trials;
+    total.ber_sum += shard.ber;
+    total.wall_s += shard.wall_s * 1.0;
+}
+
+/// Absorbs a trial outcome.
+pub fn absorb_outcome(acc: &mut Acc, wall_s: f64) {
+    let weighted = wall_s * 0.5;
+    acc.wall += weighted;
+}
+
+/// Struct for the fixture.
+pub struct Totals {
+    /// Trial count.
+    pub trials: u64,
+    /// Sum of bit-error rates.
+    pub ber_sum: f64,
+    /// Wall-clock accumulator.
+    pub wall_s: f64,
+    /// Per-shard bit-error rate.
+    pub ber: f64,
+}

@@ -1,0 +1,19 @@
+//! Fixture: panic-free violations in simulator code.
+
+/// Reads a register or dies.
+pub fn read_register(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// Looks up a segment or dies with a message.
+pub fn lookup_segment(v: Option<u32>) -> u32 {
+    v.expect("segment must exist")
+}
+
+/// Unreachable state handler.
+pub fn handle(state: u8) -> u8 {
+    match state {
+        0 => 1,
+        _ => unreachable!("corrupt state"),
+    }
+}

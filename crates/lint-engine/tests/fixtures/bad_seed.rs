@@ -1,0 +1,19 @@
+//! Fixture: seed-dataflow violations — streams built from constants.
+
+/// Builds a noise stream from a hard-coded literal.
+pub fn constant_stream() -> SplitMix64 {
+    SplitMix64::new(0xDEAD_BEEF)
+}
+
+/// The laundering variant: the constant passes through a local binding,
+/// but no parameter or seed-carrying name ever reaches the constructor.
+pub fn laundered_stream() -> SplitMix64 {
+    let salt = 17u64;
+    let mixed = salt * 3;
+    SplitMix64::new(mixed)
+}
+
+/// Free-function cell draws need provenance too.
+pub fn constant_cell_draw() -> f64 {
+    cell_uniform(7, 9, Channel::Program)
+}

@@ -1,0 +1,11 @@
+//! Fixture: unsafe/unchecked audit findings.
+
+/// Reads a cell without a bounds check.
+pub fn fast_read(cells: &[u8], idx: usize) -> u8 {
+    unsafe { *cells.get_unchecked(idx) }
+}
+
+/// Unchecked unwrap of a known-Some value.
+pub fn known_some(v: Option<u8>) -> u8 {
+    unsafe { v.unwrap_unchecked() }
+}

@@ -1,0 +1,25 @@
+//! Fixture: merge-commutativity clean pattern — integer counters only.
+
+/// Merges one shard using exact integer arithmetic (commutative).
+pub fn merge_shard(total: &mut Counts, shard: &Counts) {
+    total.trials += shard.trials;
+    total.bit_errors += shard.bit_errors;
+    total.flip_histogram_sum += shard.flip_histogram_sum;
+}
+
+/// Float math outside merge functions is unrestricted.
+pub fn summarize(c: &Counts) -> f64 {
+    let mut ber = c.bit_errors as f64;
+    ber /= (c.trials as f64).max(1.0);
+    ber
+}
+
+/// Struct for the fixture.
+pub struct Counts {
+    /// Trial count.
+    pub trials: u64,
+    /// Exact error count.
+    pub bit_errors: u64,
+    /// Histogram mass as integer micro-units.
+    pub flip_histogram_sum: u64,
+}

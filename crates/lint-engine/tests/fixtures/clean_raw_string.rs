@@ -1,0 +1,18 @@
+//! Fixture: forbidden patterns inside strings and comments must not fire.
+//! The doc generator renders `.unwrap()` calls like `x.unwrap()` here.
+
+/// Emits a code snippet for the docs; the snippet text is data, not code.
+pub fn snippet() -> &'static str {
+    r#"let value = reading.unwrap(); panic!("HashMap: {value}");"#
+}
+
+/// Raw string at hash depth two, containing an inner `"#` terminator.
+pub fn nested_snippet() -> &'static str {
+    r##"segments.get(&seg).expect("missing"); r#"thread::spawn"#"##
+}
+
+// A line comment mentioning x.unwrap() and println!("...") is also inert.
+/// Byte strings carry patterns too.
+pub fn byte_snippet() -> &'static [u8] {
+    b"SystemTime::now().unwrap()"
+}

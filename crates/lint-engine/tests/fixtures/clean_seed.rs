@@ -1,0 +1,26 @@
+//! Fixture: seed-dataflow clean patterns — provenance from parameters.
+
+/// Direct parameter use.
+pub fn stream_from_param(trial_seed: u64) -> SplitMix64 {
+    SplitMix64::new(trial_seed)
+}
+
+/// Provenance traced through a `let` chain.
+pub fn stream_via_lets(cfg: &TrialConfig) -> SplitMix64 {
+    let base = cfg.seed_for_trial();
+    let forked = mix2(base, 0x9E37);
+    SplitMix64::new(forked)
+}
+
+/// Seed-carrying field reads count as provenance.
+pub struct Harness {
+    /// Per-trial seed.
+    pub seed: u64,
+}
+
+impl Harness {
+    /// Stream derived from the struct's seed field.
+    pub fn stream(&self) -> SplitMix64 {
+        SplitMix64::new(self.seed ^ 0x5EED)
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixture-corpus tests: every rule family exercised against known-bad
+//! and known-clean snippets under `tests/fixtures/`. The fixture files
+//! are data (the xtask workspace walk skips `/fixtures/` paths), so they
+//! are free to violate every rule on purpose.
+
+use flashmark_lint_engine::{analyze, Report, Rule, SourceFile};
+
+/// Analyzes one fixture as if it lived at `path` inside the workspace.
+fn analyze_at(path: &str, source: &str) -> Report {
+    analyze(&[SourceFile {
+        path: path.to_string(),
+        source: source.to_string(),
+    }])
+}
+
+/// Findings of one rule.
+fn of(report: &Report, rule: Rule) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn bad_panic_fires_three_times() {
+    let r = analyze_at(
+        "crates/nor/src/fixture.rs",
+        include_str!("fixtures/bad_panic.rs"),
+    );
+    assert_eq!(of(&r, Rule::PanicFree), 3, "unwrap, expect, unreachable!");
+}
+
+#[test]
+fn raw_strings_and_comments_never_fire() {
+    let r = analyze_at(
+        "crates/nor/src/fixture.rs",
+        include_str!("fixtures/clean_raw_string.rs"),
+    );
+    for rule in [
+        Rule::PanicFree,
+        Rule::PrintDiscipline,
+        Rule::MapOrder,
+        Rule::Nondeterminism,
+        Rule::ThreadDiscipline,
+        Rule::UnsafeAudit,
+        Rule::FloatEq,
+    ] {
+        assert_eq!(of(&r, rule), 0, "{} fired inside string data", rule.name());
+    }
+}
+
+#[test]
+fn nested_cfg_test_regions_are_fully_exempt() {
+    let r = analyze_at(
+        "crates/nor/src/fixture.rs",
+        include_str!("fixtures/nested_cfg_test.rs"),
+    );
+    assert!(
+        r.findings.is_empty(),
+        "test-only code produced findings: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn constant_seeded_streams_are_flagged() {
+    let r = analyze_at(
+        "crates/physics/src/fixture.rs",
+        include_str!("fixtures/bad_seed.rs"),
+    );
+    assert_eq!(
+        of(&r, Rule::SeedDataflow),
+        3,
+        "direct constant, laundered constant, constant cell draw"
+    );
+}
+
+#[test]
+fn param_derived_streams_are_clean() {
+    let r = analyze_at(
+        "crates/physics/src/fixture.rs",
+        include_str!("fixtures/clean_seed.rs"),
+    );
+    assert_eq!(of(&r, Rule::SeedDataflow), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn float_accumulation_in_merge_code_is_flagged() {
+    let r = analyze_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/bad_merge.rs"),
+    );
+    assert_eq!(
+        of(&r, Rule::MergeCommutativity),
+        3,
+        "ber read, float-literal RHS, float let-binding"
+    );
+}
+
+#[test]
+fn integer_merges_are_clean() {
+    let r = analyze_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/clean_merge.rs"),
+    );
+    assert_eq!(of(&r, Rule::MergeCommutativity), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn hash_containers_are_flagged_everywhere() {
+    let r = analyze_at(
+        "crates/nor/src/fixture.rs",
+        include_str!("fixtures/bad_map_order.rs"),
+    );
+    assert_eq!(
+        of(&r, Rule::MapOrder),
+        5,
+        "two imports, two signatures, one constructor"
+    );
+}
+
+#[test]
+fn unsafe_and_unchecked_are_inventoried() {
+    let r = analyze_at(
+        "crates/nor/src/fixture.rs",
+        include_str!("fixtures/bad_unsafe.rs"),
+    );
+    assert_eq!(
+        of(&r, Rule::UnsafeAudit),
+        4,
+        "two unsafe blocks, get_unchecked, unwrap_unchecked"
+    );
+}
+
+#[test]
+fn classic_families_each_fire() {
+    let r = analyze_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/bad_classic.rs"),
+    );
+    assert_eq!(of(&r, Rule::MissingDocs), 1, "undocumented_helper");
+    assert_eq!(of(&r, Rule::FloatEq), 1, "a == 0.5");
+    assert!(of(&r, Rule::Nondeterminism) >= 1, "Instant::now");
+    assert_eq!(of(&r, Rule::ThreadDiscipline), 1, "thread::spawn");
+    assert_eq!(of(&r, Rule::PrintDiscipline), 2, "println + eprintln");
+}
+
+#[test]
+fn suppression_semantics_end_to_end() {
+    let r = analyze_at(
+        "crates/nor/src/fixture.rs",
+        include_str!("fixtures/suppressions.rs"),
+    );
+    // Kept: the unwraps under the unjustified and unknown-rule comments.
+    assert_eq!(of(&r, Rule::PanicFree), 2, "{:?}", r.findings);
+    // The bad comments themselves are findings.
+    assert_eq!(of(&r, Rule::Suppression), 2, "{:?}", r.findings);
+    // Silenced: the justified unwrap plus the multi-rule line (2 findings).
+    assert_eq!(r.suppressed, 3);
+    assert_eq!(of(&r, Rule::MapOrder), 0, "multi-rule allow covers HashMap");
+}

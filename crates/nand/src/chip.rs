@@ -1,7 +1,7 @@
 //! The NAND chip: page register semantics, NOP limits, abortable block
 //! erase.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flashmark_nor::timing::SimClock;
 use flashmark_physics::cell::{sense, CellState, CellStatics};
@@ -100,7 +100,7 @@ pub struct NandChip {
     geometry: NandGeometry,
     timings: NandTimings,
     chip_seed: u64,
-    blocks: HashMap<u32, BlockCells>,
+    blocks: BTreeMap<u32, BlockCells>,
     op_rng: SplitMix64,
     clock: SimClock,
 }
@@ -125,7 +125,7 @@ impl NandChip {
             geometry,
             timings,
             chip_seed,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             op_rng: SplitMix64::new(mix2(chip_seed, 0x0DA1)),
             clock: SimClock::new(),
         }

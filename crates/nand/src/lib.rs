@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! SLC NAND flash emulation and the Flashmark-on-NAND adapter.
 //!
 //! The paper demonstrates Flashmark on embedded NOR but concludes that "the

@@ -5,7 +5,7 @@
 //! are materialized lazily — simulating a 256 KB device costs memory only
 //! for the segments an experiment actually touches.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flashmark_physics::cell::{sense, CellState, CellStatics};
 use flashmark_physics::erase::{apply_erase_cached, t_cross_us_cached, t_full_us_cached};
@@ -67,7 +67,7 @@ pub struct FlashArray {
     params: PhysicsParams,
     geometry: FlashGeometry,
     chip_seed: u64,
-    segments: HashMap<u32, SegmentCells>,
+    segments: BTreeMap<u32, SegmentCells>,
     op_rng: SplitMix64,
     temp_c: f64,
     dist_cache: EraseDistCache,
@@ -81,7 +81,7 @@ impl FlashArray {
             params,
             geometry,
             chip_seed,
-            segments: HashMap::new(),
+            segments: BTreeMap::new(),
             op_rng: SplitMix64::new(flashmark_physics::rng::mix2(chip_seed, 0x0505_0505)),
             temp_c: 25.0,
             dist_cache: EraseDistCache::new(),

@@ -54,7 +54,7 @@ pub struct FlashController {
     counters: OpCounters,
     trace: Trace,
     // tCPT budget per 128-byte flash row, keyed by (segment, row).
-    cumulative_program: std::collections::HashMap<(u32, u32), Micros>,
+    cumulative_program: std::collections::BTreeMap<(u32, u32), Micros>,
 }
 
 impl FlashController {
@@ -76,7 +76,7 @@ impl FlashController {
             poll_words: 16,
             counters: OpCounters::default(),
             trace: Trace::new(),
-            cumulative_program: std::collections::HashMap::new(),
+            cumulative_program: std::collections::BTreeMap::new(),
         }
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic observability for the Flashmark stack.
 //!
 //! The paper's premise is making invisible physical state (oxide wear)

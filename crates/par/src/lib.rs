@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic parallel execution of independent simulation trials.
 //!
 //! Every quantitative artifact in this repository is a Monte Carlo fan-out

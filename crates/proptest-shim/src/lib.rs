@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A minimal, dependency-free, deterministic stand-in for the `proptest`
 //! crate.
 //!

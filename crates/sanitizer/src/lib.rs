@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Runtime flash-protocol sanitizer for the Flashmark stack.
 //!
 //! [`SanitizedFlash`] wraps any [`FlashInterface`](flashmark_nor::FlashInterface)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Supply-chain and counterfeiter simulation.
 //!
 //! The paper motivates Flashmark with three counterfeiting pathways:

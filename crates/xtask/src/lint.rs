@@ -1,693 +1,279 @@
-//! The flash-protocol static lint pass.
+//! Thin driver for the `flashmark-lint-engine` static analysis pass.
 //!
-//! Four rule families, all text-level (no rustc plumbing, std only):
-//!
-//! 1. **panic-free** — no `.unwrap()` / `.expect(` / `panic!` family in
-//!    non-test code of `crates/nor` and `crates/core`: the simulator hot
-//!    paths return typed `NorError` / `CoreError` values.
-//! 2. **float-eq** — no direct `==` / `!=` on physics quantities (float
-//!    literals or unit-wrapper `.get()` reads) in `crates/physics`,
-//!    `crates/nor`, `crates/core`: exact f64 equality on simulated
-//!    quantities is either a bug or an accident waiting for one.
-//! 3. **nondeterminism** — no `std::time` / `rand` in the simulation
-//!    crates outside `crates/physics/src/rng.rs`: every run must be
-//!    reproducible from its seed.
-//! 4. **missing-docs** — every `pub` item carries a doc comment (a
-//!    text-level double of the workspace `missing_docs` lint, so it also
-//!    fires without a full compile).
-//! 5. **thread-discipline** — no raw `std::thread::spawn` /
-//!    `thread::Builder` outside `crates/par`: all parallelism goes
-//!    through the deterministic `TrialRunner`, which owns the
-//!    merge-in-trial-order guarantee that keeps parallel runs
-//!    bit-identical to serial ones.
-//! 6. **print-discipline** — no `println!` / `eprintln!` in library
-//!    crates: libraries report through typed results and `flashmark_obs`
-//!    events; only the bench harness and this xtask own stdout/stderr.
-//!
-//! Test modules (`#[cfg(test)]`), comments, and string literals are
-//! excluded from pattern scanning.
+//! All lexing, scope analysis, and rule logic lives in
+//! `crates/lint-engine`; this module only does the I/O the engine
+//! deliberately avoids: walking the workspace for sources, loading the
+//! committed baseline (`lint_baseline.json`), writing the deterministic
+//! report (`results/lint_report.json`), and mapping the outcome to an
+//! exit code for CI.
 
-use std::fmt;
+use std::path::{Path, PathBuf};
 
-/// Which rule family a finding belongs to.
+use flashmark_lint_engine::{
+    analyze, baseline_from_json, baseline_to_json, BaselineEntry, Report, SourceFile,
+};
+
+/// Output format for findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Rule {
-    /// Panic-free hot paths in `crates/nor` / `crates/core`.
-    PanicFree,
-    /// No exact f64 equality on physics quantities.
-    FloatEq,
-    /// No wall-clock / OS randomness in simulation crates.
-    Nondeterminism,
-    /// Every public item documented.
-    MissingDocs,
-    /// No raw thread spawning outside `crates/par`.
-    ThreadDiscipline,
-    /// No direct printing from library crates.
-    PrintDiscipline,
+pub(crate) enum Format {
+    /// One `file:line: [rule] message` diagnostic per finding.
+    Human,
+    /// The full report JSON (same bytes as `results/lint_report.json`).
+    Json,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Self::PanicFree => "panic-free",
-            Self::FloatEq => "float-eq",
-            Self::Nondeterminism => "nondeterminism",
-            Self::MissingDocs => "missing-docs",
-            Self::ThreadDiscipline => "thread-discipline",
-            Self::PrintDiscipline => "print-discipline",
-        };
-        f.write_str(s)
-    }
+/// Parsed `cargo xtask lint` options.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Options {
+    /// Findings output format.
+    pub format: Format,
+    /// Rewrite `lint_baseline.json` from the current findings and exit 0.
+    pub update_baseline: bool,
 }
 
-/// One lint finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Finding {
-    /// Workspace-relative path.
-    pub(crate) file: String,
-    /// 1-based line number.
-    pub(crate) line: usize,
-    /// The violated rule.
-    pub(crate) rule: Rule,
-    /// Human-readable explanation.
-    pub(crate) message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// Which rule families apply to a file, derived from its workspace path.
+/// Outcome of a lint run, for exit-code mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct RuleSet {
-    /// Apply the panic-free rule.
-    pub(crate) panic_free: bool,
-    /// Apply the float-equality rule.
-    pub(crate) float_eq: bool,
-    /// Apply the nondeterminism rule.
-    pub(crate) nondeterminism: bool,
-    /// Apply the missing-docs rule.
-    pub(crate) missing_docs: bool,
-    /// Apply the thread-discipline rule.
-    pub(crate) thread_discipline: bool,
-    /// Apply the print-discipline rule.
-    pub(crate) print_discipline: bool,
+pub(crate) enum Outcome {
+    /// No unbaselined findings and no stale baseline entries.
+    Clean,
+    /// Unbaselined findings or stale baseline entries remain.
+    Dirty,
+    /// An I/O failure prevented a verdict.
+    Error,
 }
 
-/// Scope for a workspace-relative path like `crates/nor/src/controller.rs`.
-/// Returns `None` for files the lint pass skips entirely.
-#[must_use]
-pub(crate) fn rules_for(path: &str) -> Option<RuleSet> {
-    let path = path.replace('\\', "/");
-    // Only library/binary sources are linted; tests and benches are free to
-    // unwrap, and generated/target trees are not ours.
-    let in_src =
-        path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"));
-    if !in_src || !path.ends_with(".rs") {
-        return None;
+/// Relative path of the committed baseline.
+pub(crate) const BASELINE_PATH: &str = "lint_baseline.json";
+/// Relative path of the machine-readable report.
+pub(crate) const REPORT_PATH: &str = "results/lint_report.json";
+
+/// Directories under a crate that contain Rust sources worth indexing.
+/// Everything feeds the pub-liveness reference index; only `src/` files
+/// are classified for linting by the engine itself.
+const CRATE_SUBDIRS: [&str; 4] = ["src", "tests", "examples", "benches"];
+
+/// Walks the workspace and returns every Rust source as a [`SourceFile`]
+/// with a workspace-relative, `/`-separated path. Returns `Err` with the
+/// offending path on a read failure.
+pub(crate) fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for sub in CRATE_SUBDIRS {
+        collect_rs_files(&root.join(sub), &mut paths);
     }
-    let crate_dir = path
-        .strip_prefix("crates/")
-        .and_then(|p| p.split('/').next())
-        .unwrap_or("");
-    let panic_free = matches!(crate_dir, "nor" | "core");
-    let float_eq = matches!(crate_dir, "physics" | "nor" | "core");
-    // Infrastructure crates are allowed to use the wall clock (`bench`
-    // times real executions, `xtask` is this linter and must spell the
-    // forbidden patterns). The RNG module is the one sanctioned entropy
-    // source.
-    let nondeterminism =
-        !matches!(crate_dir, "bench" | "xtask") && path != "crates/physics/src/rng.rs";
-    // `crates/par` is the one sanctioned home for worker threads; every
-    // other crate must fan out through its deterministic `TrialRunner`.
-    let thread_discipline = crate_dir != "par";
-    // Library crates never print: diagnostics flow through typed errors
-    // and `flashmark_obs` events. The bench harness owns its stdout and
-    // this xtask must spell the forbidden patterns.
-    let print_discipline = !matches!(crate_dir, "bench" | "xtask");
-    Some(RuleSet {
-        panic_free,
-        float_eq,
-        nondeterminism,
-        missing_docs: true,
-        thread_discipline,
-        print_discipline,
-    })
-}
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            for sub in CRATE_SUBDIRS {
+                collect_rs_files(&entry.path().join(sub), &mut paths);
+            }
+        }
+    }
+    paths.sort();
 
-/// Lints one file's source text under the given rule set.
-#[must_use]
-pub(crate) fn lint_source(file: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let lines: Vec<&str> = source.lines().collect();
-    let code = CodeLines::extract(&lines);
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let line_no = idx + 1;
-        if !code.is_code[idx] {
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.contains("/fixtures/") {
+            // Lint-engine test fixtures are deliberately rule-violating
+            // snippets; they are exercised by the engine's own tests.
             continue;
         }
-        let stripped = &code.stripped[idx];
-        if rules.panic_free {
-            check_panic_free(file, line_no, stripped, &mut findings);
-        }
-        if rules.float_eq {
-            check_float_eq(file, line_no, stripped, &mut findings);
-        }
-        if rules.nondeterminism {
-            check_nondeterminism(file, line_no, stripped, &mut findings);
-        }
-        if rules.missing_docs {
-            check_missing_docs(file, line_no, raw, idx, &lines, &code, &mut findings);
-        }
-        if rules.thread_discipline {
-            check_thread_discipline(file, line_no, stripped, &mut findings);
-        }
-        if rules.print_discipline {
-            check_print_discipline(file, line_no, stripped, &mut findings);
-        }
+        let source = std::fs::read_to_string(&path).map_err(|e| format!("{rel}: {e}"))?;
+        files.push(SourceFile { path: rel, source });
     }
-    findings
+    Ok(files)
 }
 
-/// Per-line classification of a source file: which lines are non-test code,
-/// with comments and string literals stripped.
-struct CodeLines {
-    /// `true` where the line is outside `#[cfg(test)]` blocks.
-    is_code: Vec<bool>,
-    /// The line with comments and string-literal contents removed.
-    stripped: Vec<String>,
-}
-
-impl CodeLines {
-    fn extract(lines: &[&str]) -> Self {
-        let mut is_code = vec![true; lines.len()];
-        let mut stripped = Vec::with_capacity(lines.len());
-
-        // Pass 1: strip comments and strings, carrying block-comment state.
-        let mut in_block_comment = false;
-        for line in lines {
-            let (s, still_in_comment) = strip_line(line, in_block_comment);
-            in_block_comment = still_in_comment;
-            stripped.push(s);
-        }
-
-        // Pass 2: blank out `#[cfg(test)]` items (attribute through the end
-        // of the following brace-delimited block).
-        let mut i = 0;
-        while i < lines.len() {
-            if stripped[i].trim_start().starts_with("#[cfg(test)]") {
-                let mut depth = 0i32;
-                let mut opened = false;
-                let mut j = i;
-                while j < lines.len() {
-                    is_code[j] = false;
-                    for ch in stripped[j].chars() {
-                        match ch {
-                            '{' => {
-                                depth += 1;
-                                opened = true;
-                            }
-                            '}' => depth -= 1,
-                            ';' if !opened => {
-                                // `#[cfg(test)] use ...;` — a single item,
-                                // no block to skip.
-                                opened = true;
-                                depth = 0;
-                            }
-                            _ => {}
-                        }
-                    }
-                    if opened && depth <= 0 {
-                        break;
-                    }
-                    j += 1;
-                }
-                i = j + 1;
-            } else {
-                i += 1;
-            }
-        }
-
-        Self { is_code, stripped }
-    }
-}
-
-/// Removes comments and string-literal contents from one line. Returns the
-/// stripped text and whether a `/* */` comment continues past the line end.
-fn strip_line(line: &str, mut in_block_comment: bool) -> (String, bool) {
-    let mut out = String::with_capacity(line.len());
-    let chars: Vec<char> = line.chars().collect();
-    let mut i = 0;
-    let mut in_string = false;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        if in_block_comment {
-            if c == '*' && next == Some('/') {
-                in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        if in_string {
-            if c == '\\' {
-                i += 2; // skip the escaped character
-            } else {
-                if c == '"' {
-                    in_string = false;
-                    out.push('"');
-                }
-                i += 1;
-            }
-            continue;
-        }
-        match c {
-            '/' if next == Some('/') => break, // line comment: done
-            '/' if next == Some('*') => {
-                in_block_comment = true;
-                i += 2;
-            }
-            '"' => {
-                in_string = true;
-                out.push('"');
-                i += 1;
-            }
-            '\'' if next.is_some() && chars.get(i + 2) == Some(&'\'') => {
-                // A simple char literal like 'x' — drop its content.
-                out.push_str("''");
-                i += 3;
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    // An unterminated string means a multi-line literal; treat the rest of
-    // it as stripped by claiming block-comment state (cheap approximation
-    // that keeps later lines from being scanned as code).
-    (out, in_block_comment || in_string)
-}
-
-const PANIC_PATTERNS: [(&str, &str); 5] = [
-    (
-        ".unwrap()",
-        "use a typed error (`?` / `ok_or`) instead of `.unwrap()`",
-    ),
-    (".expect(", "use a typed error instead of `.expect(...)`"),
-    ("panic!", "return a typed error instead of `panic!`"),
-    (
-        "unreachable!",
-        "restructure so the compiler proves unreachability, or return a typed error",
-    ),
-    ("todo!", "no `todo!` on hot paths"),
-];
-
-fn check_panic_free(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
-    for (pat, msg) in PANIC_PATTERNS {
-        if code.contains(pat) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                rule: Rule::PanicFree,
-                message: format!("`{pat}` in non-test code: {msg}"),
-            });
-        }
-    }
-}
-
-const NONDET_PATTERNS: [&str; 6] = [
-    "std::time",
-    "SystemTime",
-    "Instant::now",
-    "time::Instant",
-    "rand::",
-    "thread_rng",
-];
-
-fn check_nondeterminism(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
-    for pat in NONDET_PATTERNS {
-        if code.contains(pat) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                rule: Rule::Nondeterminism,
-                message: format!(
-                    "`{pat}` in a simulation crate: all entropy must flow through crates/physics/src/rng.rs"
-                ),
-            });
-        }
-    }
-}
-
-const THREAD_PATTERNS: [&str; 2] = ["thread::spawn", "thread::Builder"];
-
-fn check_thread_discipline(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
-    for pat in THREAD_PATTERNS {
-        if code.contains(pat) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                rule: Rule::ThreadDiscipline,
-                message: format!(
-                    "`{pat}` outside crates/par: fan work out through `flashmark_par::TrialRunner` so parallel runs stay bit-identical to serial ones"
-                ),
-            });
-        }
-    }
-}
-
-const PRINT_PATTERNS: [&str; 2] = ["println!", "eprintln!"];
-
-fn check_print_discipline(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
-    // `eprintln!` contains `println!` as a substring; blank it out before
-    // the `println!` scan so one macro reports under one name.
-    let sans_eprintln = code.replace("eprintln!", "");
-    for pat in PRINT_PATTERNS {
-        let scanned = if pat == "println!" {
-            sans_eprintln.as_str()
-        } else {
-            code
-        };
-        if scanned.contains(pat) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                rule: Rule::PrintDiscipline,
-                message: format!(
-                    "`{pat}` in a library crate: report through typed results or emit a `flashmark_obs` event; only bench/xtask own stdout"
-                ),
-            });
-        }
-    }
-}
-
-/// Characters that may appear in a comparison operand token.
-fn is_operand_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '(' | ')' | '[' | ']' | ':')
-}
-
-/// Whether an operand token reads as an f64 quantity: a float literal, a
-/// unit-wrapper `.get()` read, or an `f64::` constant.
-fn is_float_operand(token: &str) -> bool {
-    if token.contains(".get()") || token.contains("f64::") {
-        return true;
-    }
-    // Float literal: digits, one dot, optional fraction/exponent (`0.0`,
-    // `1.5e-3`). A trailing method call like `0.5.mul_add(...)` still
-    // starts with the literal.
-    let mut chars = token.chars().peekable();
-    let mut digits = 0;
-    while chars.peek().is_some_and(char::is_ascii_digit) {
-        chars.next();
-        digits += 1;
-    }
-    digits > 0 && chars.next() == Some('.') && chars.next().map_or(true, |c| c.is_ascii_digit())
-}
-
-fn check_float_eq(file: &str, line_no: usize, code: &str, findings: &mut Vec<Finding>) {
-    let bytes: Vec<char> = code.chars().collect();
-    let n = bytes.len();
-    for i in 0..n.saturating_sub(1) {
-        let pair = (bytes[i], bytes[i + 1]);
-        if pair != ('=', '=') && pair != ('!', '=') {
-            continue;
-        }
-        // Exclude `<=`, `>=`, `..=`, `===`-like runs and compound ops.
-        let prev = if i > 0 { bytes[i - 1] } else { ' ' };
-        let after = bytes.get(i + 2).copied().unwrap_or(' ');
-        if "=!<>+-*/%&|^.".contains(prev) || after == '=' {
-            continue;
-        }
-
-        // Extract the operand tokens on each side.
-        let mut l = i;
-        while l > 0 && bytes[l - 1] == ' ' {
-            l -= 1;
-        }
-        let left_end = l;
-        while l > 0 && is_operand_char(bytes[l - 1]) {
-            l -= 1;
-        }
-        let left: String = bytes[l..left_end].iter().collect();
-
-        let mut r = i + 2;
-        while r < n && bytes[r] == ' ' {
-            r += 1;
-        }
-        let right_start = r;
-        while r < n && is_operand_char(bytes[r]) {
-            r += 1;
-        }
-        let right: String = bytes[right_start..r].iter().collect();
-
-        if is_float_operand(&left) || is_float_operand(&right) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                rule: Rule::FloatEq,
-                message: format!(
-                    "exact f64 comparison `{left} {}{} {right}`: compare with a tolerance or restructure",
-                    bytes[i], bytes[i + 1]
-                ),
-            });
-        }
-    }
-}
-
-/// Keywords introducing public items that must carry a doc comment.
-/// `pub use` re-exports are exempt, matching rustc's `missing_docs`.
-const DOC_KEYWORDS: [&str; 8] = [
-    "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
-];
-
-fn check_missing_docs(
-    file: &str,
-    line_no: usize,
-    raw: &str,
-    idx: usize,
-    lines: &[&str],
-    code: &CodeLines,
-    findings: &mut Vec<Finding>,
-) {
-    let trimmed = code.stripped[idx].trim_start();
-    let Some(rest) = trimmed.strip_prefix("pub ") else {
+/// Recursively collects `.rs` files under `dir` (missing dirs are fine).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
-    let keyword = rest.split_whitespace().next().unwrap_or("");
-    if !DOC_KEYWORDS.contains(&keyword) {
-        return;
-    }
-    // `pub mod foo;` declarations document themselves with `//!` inner docs
-    // inside the module file, which this line-level pass cannot see; rustc's
-    // `missing_docs` covers that case. Inline `pub mod foo { .. }` still needs
-    // an outer doc comment.
-    if keyword == "mod" && trimmed.trim_end().ends_with(';') {
-        return;
-    }
-    // Lines inside macro_rules! bodies (metavariables like `$name`) are
-    // templates, not items; rustc checks the expansion sites instead.
-    if trimmed.contains('$') {
-        return;
-    }
-    // Walk upward over attributes looking for a doc comment.
-    let mut j = idx;
-    while j > 0 {
-        j -= 1;
-        let above = lines[j].trim_start();
-        if above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("#![doc") {
-            return; // documented
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
         }
-        // Single-line attributes are transparent.
-        if above.starts_with("#[") {
-            continue;
+    }
+}
+
+/// Loads the committed baseline; a missing file is an empty baseline.
+fn load_baseline(root: &Path) -> Result<Vec<BaselineEntry>, String> {
+    let path = root.join(BASELINE_PATH);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{BASELINE_PATH}: {e}"))?;
+    baseline_from_json(&text).map_err(|e| format!("{BASELINE_PATH}: {e}"))
+}
+
+/// Writes the deterministic report under `results/`.
+fn write_report(root: &Path, report: &Report) -> Result<(), String> {
+    let path = root.join(REPORT_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(&path, report.to_json()).map_err(|e| format!("{REPORT_PATH}: {e}"))
+}
+
+/// Runs the full lint pass against the workspace at `root`.
+pub(crate) fn run(root: &Path, options: &Options) -> Outcome {
+    let files = match collect_sources(root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {e}");
+            return Outcome::Error;
         }
-        // The closing line of a multi-line attribute: skip up to and over
-        // its `#[` opening line, interior lines included.
-        if above.trim_end().ends_with(']') {
-            while j > 0 && !lines[j].trim_start().starts_with("#[") {
-                j -= 1;
+    };
+    let mut report = analyze(&files);
+
+    if options.update_baseline {
+        let entries: Vec<BaselineEntry> = report
+            .findings
+            .iter()
+            .map(|f| BaselineEntry {
+                rule: f.rule.name().to_string(),
+                file: f.file.clone(),
+                message: f.message.clone(),
+            })
+            .collect();
+        let path = root.join(BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, baseline_to_json(&entries)) {
+            eprintln!("xtask lint: cannot write {BASELINE_PATH}: {e}");
+            return Outcome::Error;
+        }
+        println!(
+            "xtask lint: baseline rewritten with {} entr{}",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+    }
+
+    let baseline = match load_baseline(root) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return Outcome::Error;
+        }
+    };
+    let stale = report.apply_baseline(&baseline);
+
+    if let Err(e) = write_report(root, &report) {
+        eprintln!("xtask lint: cannot write {e}");
+        return Outcome::Error;
+    }
+
+    match options.format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Human => {
+            for f in &report.findings {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message);
             }
-            continue;
+            for s in &stale {
+                println!(
+                    "{}: [stale-baseline] baseline entry for rule `{}` no longer matches any finding: {}",
+                    s.file, s.rule, s.message
+                );
+            }
+            println!(
+                "xtask lint: {} files checked, {} finding(s), {} suppressed, {} baselined, {} stale baseline entr{}",
+                report.files_checked,
+                report.findings.len(),
+                report.suppressed,
+                report.baselined,
+                stale.len(),
+                if stale.len() == 1 { "y" } else { "ies" }
+            );
         }
-        break;
     }
-    let item = raw.trim().chars().take(60).collect::<String>();
-    findings.push(Finding {
-        file: file.to_string(),
-        line: line_no,
-        rule: Rule::MissingDocs,
-        message: format!("public item without a doc comment: `{item}`"),
-    });
+
+    if report.findings.is_empty() && stale.is_empty() {
+        Outcome::Clean
+    } else {
+        if options.format == Format::Json && !stale.is_empty() {
+            eprintln!(
+                "xtask lint: {} stale baseline entr{} (run with --update-baseline)",
+                stale.len(),
+                if stale.len() == 1 { "y" } else { "ies" }
+            );
+        }
+        Outcome::Dirty
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const NOR_RULES: RuleSet = RuleSet {
-        panic_free: true,
-        float_eq: true,
-        nondeterminism: true,
-        missing_docs: true,
-        thread_discipline: true,
-        print_discipline: true,
-    };
-
-    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
-        findings.iter().map(|f| f.rule).collect()
+    fn workspace_root() -> PathBuf {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(Path::parent)
+            .map_or(manifest.clone(), Path::to_path_buf)
     }
 
     #[test]
-    fn scope_selection_matches_crate_layout() {
-        let nor = rules_for("crates/nor/src/controller.rs").unwrap();
-        assert!(nor.panic_free && nor.float_eq && nor.nondeterminism);
-        let physics = rules_for("crates/physics/src/erase.rs").unwrap();
-        assert!(!physics.panic_free && physics.float_eq && physics.nondeterminism);
-        let rng = rules_for("crates/physics/src/rng.rs").unwrap();
+    fn collect_sources_covers_the_workspace() {
+        let files = collect_sources(&workspace_root()).unwrap();
+        let has = |p: &str| files.iter().any(|f| f.path == p);
+        assert!(has("src/lib.rs"), "root facade collected");
+        assert!(has("crates/physics/src/rng.rs"), "crate sources collected");
         assert!(
-            !rng.nondeterminism,
-            "the RNG module is the sanctioned entropy source"
-        );
-        let bench = rules_for("crates/bench/src/microbench.rs").unwrap();
-        assert!(!bench.nondeterminism && !bench.panic_free);
-        assert!(!bench.print_discipline, "the bench harness owns its stdout");
-        assert!(
-            nor.print_discipline && physics.print_discipline,
-            "library crates never print"
+            has("crates/xtask/src/lint.rs"),
+            "tooling collected for the reference index"
         );
         assert!(
-            bench.thread_discipline,
-            "even the bench harness must go through TrialRunner"
+            files.iter().all(|f| !f.path.contains("/fixtures/")),
+            "fixtures excluded"
         );
-        let par = rules_for("crates/par/src/lib.rs").unwrap();
         assert!(
-            !par.thread_discipline,
-            "crates/par is the sanctioned home for worker threads"
+            files.iter().all(|f| !f.path.contains('\\')),
+            "paths are /-separated"
         );
-        assert!(par.nondeterminism && par.missing_docs);
-        assert!(rules_for("crates/nor/tests/properties.rs").is_none());
-        assert!(rules_for("crates/nor/benches/x.rs").is_none());
-        assert!(rules_for("README.md").is_none());
     }
 
     #[test]
-    fn flags_unwrap_and_expect_and_panic() {
-        let src = "/// Doc.\npub fn f() {\n    let x = y.unwrap();\n    let z = w.expect(\"no\");\n    panic!(\"boom\");\n}\n";
-        let f = lint_source("x.rs", src, NOR_RULES);
-        assert_eq!(rules_of(&f), vec![Rule::PanicFree; 3]);
-        assert_eq!(f[0].line, 3);
-        assert_eq!(f[2].line, 5);
-    }
-
-    #[test]
-    fn unwrap_or_variants_are_fine() {
-        let src = "/// D.\npub fn f() {\n    a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default();\n    d.expect_err(\"e\");\n}\n";
-        assert!(lint_source("x.rs", src, NOR_RULES).is_empty());
-    }
-
-    #[test]
-    fn docs_seen_through_multiline_attributes() {
-        let src = "/// Documented.\n#[expect(\n    clippy::missing_panics_doc,\n    reason = \"statically valid\"\n)]\n#[must_use]\npub fn f() -> u8 {\n    0\n}\n";
-        assert!(lint_source("x.rs", src, NOR_RULES).is_empty());
-        // Without the doc comment the same shape is still flagged.
-        let undocumented = src.strip_prefix("/// Documented.\n").unwrap();
-        let f = lint_source("x.rs", undocumented, NOR_RULES);
-        assert_eq!(rules_of(&f), vec![Rule::MissingDocs]);
-    }
-
-    #[test]
-    fn test_modules_are_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); assert!(a == 0.5); }\n}\n";
-        assert!(lint_source("x.rs", src, NOR_RULES).is_empty());
-    }
-
-    #[test]
-    fn comments_and_strings_are_exempt() {
-        let src = "/// Calls `.unwrap()` never. panic! is mentioned here.\npub fn f() {\n    // a.unwrap() in a comment\n    let s = \"panic! .unwrap() 1.0 == 2.0\";\n    let _ = s;\n}\n";
-        assert!(lint_source("x.rs", src, NOR_RULES).is_empty());
-    }
-
-    #[test]
-    fn flags_float_equality_but_not_int() {
-        let src = "/// D.\npub fn f(x: f64, s: usize) {\n    if x == 0.0 {}\n    if t.get() != limit.get() {}\n    if s == 0 || s == SAMPLES {}\n    if w == 0xFFFF {}\n    for i in 0..=5 {}\n    if s >= 3 {}\n}\n";
-        let f = lint_source("x.rs", src, NOR_RULES);
-        assert_eq!(rules_of(&f), vec![Rule::FloatEq; 2]);
-        assert_eq!(f[0].line, 3);
-        assert_eq!(f[1].line, 4);
-    }
-
-    #[test]
-    fn flags_nondeterminism() {
-        let src = "/// D.\npub fn f() {\n    let t = std::time::Instant::now();\n}\n";
-        let f = lint_source("x.rs", src, NOR_RULES);
-        assert!(f.iter().any(|x| x.rule == Rule::Nondeterminism));
-    }
-
-    #[test]
-    fn flags_raw_thread_spawns() {
-        let src = "/// D.\npub fn f() {\n    std::thread::spawn(|| {});\n    let b = thread::Builder::new();\n}\n";
-        let f = lint_source("x.rs", src, NOR_RULES);
-        assert_eq!(rules_of(&f), vec![Rule::ThreadDiscipline; 2]);
-        assert_eq!(f[0].line, 3);
-        // `thread::scope` through the par crate's runner is the sanctioned
-        // shape and must not be flagged anywhere.
-        let ok = "/// D.\npub fn g(r: &TrialRunner) {\n    let _ = r.threads();\n}\n";
-        assert!(lint_source("x.rs", ok, NOR_RULES).is_empty());
-    }
-
-    #[test]
-    fn flags_library_prints() {
-        let src = "/// D.\npub fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
-        let f = lint_source("x.rs", src, NOR_RULES);
-        assert_eq!(rules_of(&f), vec![Rule::PrintDiscipline; 2]);
-        assert_eq!(f[0].line, 3);
-        // `writeln!` into a buffer the caller owns is fine.
-        let ok = "/// D.\npub fn g(out: &mut String) {\n    let _ = writeln!(out, \"z\");\n}\n";
-        assert!(lint_source("x.rs", ok, NOR_RULES).is_empty());
-    }
-
-    #[test]
-    fn flags_undocumented_pub_items_through_attributes() {
-        let src = "#[derive(Debug)]\npub struct S;\n\n/// Documented.\n#[derive(Debug)]\npub struct T;\n\npub use other::Thing;\n";
-        let f = lint_source("x.rs", src, NOR_RULES);
-        assert_eq!(rules_of(&f), vec![Rule::MissingDocs]);
-        assert_eq!(f[0].line, 2);
-    }
-
-    #[test]
-    fn block_comments_are_stripped() {
-        let src = "/* a.unwrap()\n   panic! */\n/// D.\npub fn f() {}\n";
-        assert!(lint_source("x.rs", src, NOR_RULES).is_empty());
-    }
-
-    #[test]
-    fn seeded_forbidden_pattern_in_temp_file_is_flagged() {
-        // End-to-end through the filesystem, as a real run sees files.
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("xtask_lint_seed_{}.rs", std::process::id()));
-        let source = "/// Doc.\npub fn hot_path(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
-        std::fs::write(&path, source).unwrap();
-        let read_back = std::fs::read_to_string(&path).unwrap();
-        std::fs::remove_file(&path).ok();
-
-        let findings = lint_source(
-            "crates/nor/src/seeded.rs",
-            &read_back,
-            rules_for("crates/nor/src/seeded.rs").unwrap(),
+    fn workspace_is_clean_against_committed_baseline() {
+        let root = workspace_root();
+        let files = collect_sources(&root).unwrap();
+        let mut report = analyze(&files);
+        let baseline = load_baseline(&root).unwrap();
+        let stale = report.apply_baseline(&baseline);
+        let diagnostics: Vec<String> = report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message))
+            .collect();
+        assert!(
+            report.findings.is_empty(),
+            "unbaselined findings:\n{}",
+            diagnostics.join("\n")
         );
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::PanicFree);
-        assert_eq!(findings[0].line, 3);
-        assert!(findings[0].message.contains(".unwrap()"));
+        assert!(
+            stale.is_empty(),
+            "stale baseline entries: {stale:?} (run cargo xtask lint --update-baseline)"
+        );
+    }
+
+    #[test]
+    fn report_matches_committed_artifact() {
+        let root = workspace_root();
+        let files = collect_sources(&root).unwrap();
+        let mut report = analyze(&files);
+        let baseline = load_baseline(&root).unwrap();
+        let _stale = report.apply_baseline(&baseline);
+        let committed = std::fs::read_to_string(root.join(REPORT_PATH))
+            .expect("results/lint_report.json is committed");
+        assert_eq!(
+            report.to_json(),
+            committed,
+            "committed lint report is out of date: run cargo xtask lint"
+        );
     }
 }

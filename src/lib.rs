@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Flashmark
 //!
 //! Umbrella crate for the Flashmark reproduction (DAC 2020): watermarking of
