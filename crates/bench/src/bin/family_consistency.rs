@@ -30,12 +30,12 @@ impl_to_json!(FamilyReport {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const CHIPS: u64 = 6;
-    let runner = TrialRunner::with_threads(0xFA31, threads_from_env_args()?);
+    let runner = TrialRunner::with_threads(0xFB01, threads_from_env_args()?);
     eprintln!(
         "family_consistency: characterizing {CHIPS} sample chips on {} thread(s) ...",
         runner.threads()
     );
-    let seeds: Vec<u64> = (0..CHIPS).map(|i| 0xFA31 + i * 7).collect();
+    let seeds: Vec<u64> = (0..CHIPS).map(|i| 0xFB01 + i * 7).collect();
     let sweep = SweepSpec::new(Micros::new(14.0), Micros::new(50.0), Micros::new(2.0))?;
 
     let windows = runner.run(seeds.len(), |trial| {

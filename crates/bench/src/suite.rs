@@ -117,6 +117,101 @@ impl_to_json!(ObsTimings {
     trials
 });
 
+/// One profile's row in the `physics_params.json` artifact: the scalar
+/// knobs that define simulation semantics, committed so parameter drift
+/// (including the erase-distribution quantization grid, which changes every
+/// erase-time draw) shows up in review as a diff on a versioned artifact.
+#[derive(Debug)]
+struct ParamsEntry {
+    profile: &'static str,
+    vref_v: f64,
+    vth_erased_mean_v: f64,
+    vth_erased_sigma_v: f64,
+    vth_programmed_mean_v: f64,
+    vth_programmed_sigma_v: f64,
+    read_noise_sigma_v: f64,
+    op_jitter_sigma: f64,
+    common_jitter_sigma: f64,
+    erased_vth_shift_per_kcycle: f64,
+    programmed_vth_shift_per_kcycle: f64,
+    wear_program: f64,
+    wear_erase: f64,
+    wear_erase_only: f64,
+    erase_activation_energy_ev: f64,
+    ref_temp_c: f64,
+    endurance_kcycles: f64,
+    erase_dist_grid_kcycles: f64,
+    prog_full_time_median_us: f64,
+    prog_full_time_sigma: f64,
+    prog_speedup_per_kcycle: f64,
+}
+impl_to_json!(ParamsEntry {
+    profile,
+    vref_v,
+    vth_erased_mean_v,
+    vth_erased_sigma_v,
+    vth_programmed_mean_v,
+    vth_programmed_sigma_v,
+    read_noise_sigma_v,
+    op_jitter_sigma,
+    common_jitter_sigma,
+    erased_vth_shift_per_kcycle,
+    programmed_vth_shift_per_kcycle,
+    wear_program,
+    wear_erase,
+    wear_erase_only,
+    erase_activation_energy_ev,
+    ref_temp_c,
+    endurance_kcycles,
+    erase_dist_grid_kcycles,
+    prog_full_time_median_us,
+    prog_full_time_sigma,
+    prog_speedup_per_kcycle
+});
+
+/// The `physics_params.json` artifact: every built-in parameter profile.
+#[derive(Debug)]
+struct ParamsReport {
+    profiles: Vec<ParamsEntry>,
+}
+impl_to_json!(ParamsReport { profiles });
+
+fn params_entry(profile: &'static str, p: &PhysicsParams) -> ParamsEntry {
+    ParamsEntry {
+        profile,
+        vref_v: p.vref.get(),
+        vth_erased_mean_v: p.vth_erased.mean,
+        vth_erased_sigma_v: p.vth_erased.sigma,
+        vth_programmed_mean_v: p.vth_programmed.mean,
+        vth_programmed_sigma_v: p.vth_programmed.sigma,
+        read_noise_sigma_v: p.read_noise_sigma,
+        op_jitter_sigma: p.op_jitter_sigma,
+        common_jitter_sigma: p.common_jitter_sigma,
+        erased_vth_shift_per_kcycle: p.erased_vth_shift_per_kcycle,
+        programmed_vth_shift_per_kcycle: p.programmed_vth_shift_per_kcycle,
+        wear_program: p.wear.program,
+        wear_erase: p.wear.erase,
+        wear_erase_only: p.wear.erase_only,
+        erase_activation_energy_ev: p.erase_activation_energy_ev,
+        ref_temp_c: p.ref_temp_c,
+        endurance_kcycles: p.endurance_kcycles,
+        erase_dist_grid_kcycles: p.erase_dist_grid_kcycles,
+        prog_full_time_median_us: p.prog_full_time_us.median,
+        prog_full_time_sigma: p.prog_full_time_us.sigma,
+        prog_speedup_per_kcycle: p.prog_speedup_per_kcycle,
+    }
+}
+
+fn params_report() -> ParamsReport {
+    ParamsReport {
+        profiles: vec![
+            params_entry("msp430_like", &PhysicsParams::msp430_like()),
+            params_entry("generic_nor", &PhysicsParams::generic_nor()),
+            params_entry("fast_standalone_nor", &PhysicsParams::fast_standalone_nor()),
+        ],
+    }
+}
+
 type StepResult = Result<(), Box<dyn std::error::Error>>;
 
 #[allow(clippy::needless_pass_by_value)] // callers hand over freshly formatted strings
@@ -481,7 +576,7 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         "family_consistency",
         family_chips as usize,
         |md| {
-            let seeds: Vec<u64> = (0..family_chips).map(|i| 0xFA31 + i * 7).collect();
+            let seeds: Vec<u64> = (0..family_chips).map(|i| 0xFB01 + i * 7).collect();
             let (sweep, reads) = if smoke {
                 (
                     SweepSpec::new(Micros::new(14.0), Micros::new(50.0), Micros::new(4.0))?,
@@ -493,7 +588,7 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
                     3,
                 )
             };
-            let windows = runner(0xFA31).run(seeds.len(), |trial| {
+            let windows = runner(0xFB01).run(seeds.len(), |trial| {
                 let mut chip = FlashController::new(
                     PhysicsParams::msp430_like(),
                     FlashGeometry::single_bank(4),
@@ -705,6 +800,10 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
             o.error.as_deref().unwrap_or("ok"),
         );
     }
+
+    // The committed parameter record (deterministic: written on every
+    // profile so the artifact can never go stale against the code).
+    write_json_in(dir, "physics_params", &params_report())?;
 
     // The runtime baseline: kernel micro-benchmarks plus per-experiment
     // wall times. Smoke runs skip it so reduced-profile artifacts never

@@ -266,7 +266,7 @@ mod tests {
     fn fig5_separation_matches_paper_scale() {
         // Paper: 3833 of 4096 bits distinguish 0 K from 50 K at 23 µs.
         // We require >85 % separation with the same setup.
-        let mut f = flash(72);
+        let mut f = flash(73);
         let worn = SegmentAddr::new(1);
         f.bulk_imprint(worn, &vec![0u16; 256], 50_000, ImprintTiming::Baseline)
             .unwrap();

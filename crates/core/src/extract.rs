@@ -297,7 +297,7 @@ mod tests {
 
     #[test]
     fn heavy_imprint_recovers_exactly() {
-        let mut f = flash(42);
+        let mut f = flash(41);
         let config = cfg(80_000, 7);
         let wm = Watermark::from_ascii("TC:OK").unwrap();
         let seg = SegmentAddr::new(0);
@@ -330,7 +330,7 @@ mod tests {
     #[test]
     fn extraction_is_nondestructive_to_the_watermark() {
         // The watermark lives in wear; extracting twice gives the same bits.
-        let mut f = flash(44);
+        let mut f = flash(45);
         let config = cfg(80_000, 5);
         let wm = Watermark::from_ascii("AGAIN").unwrap();
         let seg = SegmentAddr::new(2);

@@ -923,7 +923,7 @@ mod tests {
         // window: plain verify fails with a signature mismatch, but the
         // resilient path re-characterizes the segment and decodes at the
         // re-derived transition time.
-        let mut f = flash(109);
+        let mut f = flash(110);
         imprint(&mut f, &record(TestStatus::Accept));
         let seg = SegmentAddr::new(0);
         let drifted = Verifier::new(config(), MFG).with_retry_offsets(vec![24.0, 28.0]);

@@ -17,7 +17,13 @@ use crate::lexer::{Token, TokenKind};
 use crate::scope::{FnScope, Structure};
 
 /// RNG construction entry points the rule recognizes.
-const RNG_CONSTRUCTORS: [&str; 4] = ["SplitMix64", "cell_uniform", "cell_normal", "cell_stream"];
+const RNG_CONSTRUCTORS: [&str; 5] = [
+    "SplitMix64",
+    "CounterStream",
+    "cell_uniform",
+    "cell_normal",
+    "cell_stream",
+];
 
 /// Identifier names that inherently carry seed provenance (field reads
 /// like `self.seed`, `config.chip_seed`, `t.seed` keep their last path
@@ -117,8 +123,9 @@ pub fn seed_dataflow(
             if t.kind != TokenKind::Ident || !RNG_CONSTRUCTORS.contains(&t.text.as_str()) {
                 continue;
             }
-            // `SplitMix64::new(args)` or `cell_uniform(args)`.
-            let open = if t.text == "SplitMix64" {
+            // `SplitMix64::new(args)` / `CounterStream::new(args)` or
+            // `cell_uniform(args)`.
+            let open = if t.text == "SplitMix64" || t.text == "CounterStream" {
                 let Some(&c1) = code.get(pos + 1) else {
                     continue;
                 };
@@ -155,13 +162,17 @@ pub fn seed_dataflow(
                 a.kind == TokenKind::Ident && (taint.contains(&a.text) || is_seedful_name(&a.text))
             });
             if !args_tainted {
+                let ctor = if t.text == "SplitMix64" || t.text == "CounterStream" {
+                    format!("{}::new", t.text)
+                } else {
+                    t.text.clone()
+                };
                 findings.push(Finding {
                     file: file.to_string(),
                     line: t.line,
                     rule: Rule::SeedDataflow,
                     message: format!(
-                        "`{}` constructed from a constant in fn `{}`: derive every stream from a per-trial seed parameter (trace: no argument reaches a parameter or seed-carrying binding)",
-                        if t.text == "SplitMix64" { "SplitMix64::new" } else { t.text.as_str() },
+                        "`{ctor}` constructed from a constant in fn `{}`: derive every stream from a per-trial seed parameter (trace: no argument reaches a parameter or seed-carrying binding)",
                         f.name
                     ),
                 });
@@ -367,6 +378,20 @@ mod tests {
         // `Channel` / `EraseSpeed` are idents but carry no taint... they do
         // count as idents; ensure enum paths do not accidentally launder.
         assert_eq!(run(seed_dataflow, worse).len(), 1);
+    }
+
+    #[test]
+    fn counter_stream_constructor_is_traced() {
+        let bad = "fn f() { let s = CounterStream::new(7, 3, 1); }";
+        let f = run(seed_dataflow, bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("CounterStream::new"));
+        let clean =
+            "fn f(trial_seed: u64, cell: u64) { let s = CounterStream::new(trial_seed, cell, 1); }";
+        assert!(run(seed_dataflow, clean).is_empty());
+        let chained =
+            "fn f(chip: u64) { let op_seed = mix2(chip, 5); let s = CounterStream::new(op_seed, 0, 0); }";
+        assert!(run(seed_dataflow, chained).is_empty());
     }
 
     #[test]

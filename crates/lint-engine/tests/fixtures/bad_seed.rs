@@ -17,3 +17,9 @@ pub fn laundered_stream() -> SplitMix64 {
 pub fn constant_cell_draw() -> f64 {
     cell_uniform(7, 9, Channel::Program)
 }
+
+/// Counter-based streams are construction points too: a constant key
+/// collapses every (cell, op) lane onto one deterministic sequence.
+pub fn constant_counter_stream() -> CounterStream {
+    CounterStream::new(42, 3, 1)
+}

@@ -24,3 +24,8 @@ impl Harness {
         SplitMix64::new(self.seed ^ 0x5EED)
     }
 }
+
+/// Counter-based stream keyed off a parameter-derived op seed.
+pub fn counter_stream_from_param(op_seed: u64, word: u64) -> CounterStream {
+    CounterStream::new(op_seed, word, 0x9806)
+}

@@ -67,8 +67,8 @@ fn constant_seeded_streams_are_flagged() {
     );
     assert_eq!(
         of(&r, Rule::SeedDataflow),
-        3,
-        "direct constant, laundered constant, constant cell draw"
+        4,
+        "direct constant, laundered constant, constant cell draw, constant counter stream"
     );
 }
 

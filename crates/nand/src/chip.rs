@@ -283,7 +283,7 @@ impl NandChip {
             .zip(cells.states.iter_mut())
             .enumerate()
         {
-            let eff = pulse.effective_us(&params, st, base + i as u64, t.get());
+            let eff = pulse.effective_us(&params, base + i as u64, t.get());
             done &= apply_erase(&params, st, state, eff).completed;
         }
         cells.nop_counts.fill(0);

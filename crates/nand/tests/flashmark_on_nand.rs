@@ -15,7 +15,7 @@ fn nand(seed: u64) -> NandWordAdapter {
 
 #[test]
 fn imprint_and_extract_on_nand() {
-    let mut flash = nand(0x0AD1);
+    let mut flash = nand(0x0AD3);
     let seg = SegmentAddr::new(0);
     let cfg = FlashmarkConfig::builder()
         .n_pe(80_000)

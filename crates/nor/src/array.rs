@@ -4,16 +4,24 @@
 //! live in [`FlashController`](crate::controller::FlashController). Segments
 //! are materialized lazily — simulating a 256 KB device costs memory only
 //! for the segments an experiment actually touches.
+//!
+//! Cell storage is a structure-of-arrays
+//! [`CellArena`] per segment, and the batched
+//! operations (reads, programs, erase pulses, bulk stress, the early-exit
+//! erase estimator) run as the arena's chunked lane kernels. Per-operation
+//! randomness comes from counter-based streams: each operation derives a
+//! [`CounterStream`] from `(op seed, entity index, op counter)`, so a batched
+//! sweep draws exactly the deviates a word-by-word loop would, bit for bit.
 
 use std::collections::BTreeMap;
 
-use flashmark_physics::cell::{sense, CellState, CellStatics};
-use flashmark_physics::erase::{apply_erase_cached, t_cross_us_cached, t_full_us_cached};
+use flashmark_physics::arena::CellArena;
+use flashmark_physics::cell::CellState;
+use flashmark_physics::erase::{erase_temp_factor, t_full_us_cached};
 use flashmark_physics::noise::PulseNoise;
-use flashmark_physics::program::apply_program;
+use flashmark_physics::program::apply_partial_program;
 use flashmark_physics::retention::apply_bake;
-use flashmark_physics::rng::SplitMix64;
-use flashmark_physics::wear::bulk_pe_stress;
+use flashmark_physics::rng::{mix2, CounterStream, SplitMix64};
 use flashmark_physics::EraseDistCache;
 use flashmark_physics::{Micros, PhysicsParams};
 
@@ -21,32 +29,29 @@ use crate::addr::{SegmentAddr, WordAddr};
 use crate::error::NorError;
 use crate::geometry::{FlashGeometry, WORD_BITS};
 
-/// Cells of one segment: parallel static and dynamic vectors.
+/// Cells of one segment, stored as a structure-of-arrays arena.
 #[derive(Debug, Clone)]
 pub struct SegmentCells {
-    statics: Vec<CellStatics>,
-    states: Vec<CellState>,
+    arena: CellArena,
 }
 
 impl SegmentCells {
     fn materialize(params: &PhysicsParams, chip_seed: u64, base_cell: u64, n: usize) -> Self {
-        let statics: Vec<CellStatics> = (0..n as u64)
-            .map(|i| CellStatics::derive(params, chip_seed, base_cell + i))
-            .collect();
-        let states = statics.iter().map(CellState::fresh).collect();
-        Self { statics, states }
+        Self {
+            arena: CellArena::derive(params, chip_seed, base_cell, n),
+        }
     }
 
-    /// Static properties of the cells.
+    /// The structure-of-arrays cell storage.
     #[must_use]
-    pub fn statics(&self) -> &[CellStatics] {
-        &self.statics
+    pub fn arena(&self) -> &CellArena {
+        &self.arena
     }
 
-    /// Dynamic states of the cells.
+    /// The dynamic state of cell `i` (reconstructed from the lanes).
     #[must_use]
-    pub fn states(&self) -> &[CellState] {
-        &self.states
+    pub fn state_at(&self, i: usize) -> CellState {
+        self.arena.state_at(i)
     }
 }
 
@@ -68,7 +73,12 @@ pub struct FlashArray {
     geometry: FlashGeometry,
     chip_seed: u64,
     segments: BTreeMap<u32, SegmentCells>,
-    op_rng: SplitMix64,
+    /// Seed coordinate of every per-operation [`CounterStream`].
+    op_seed: u64,
+    /// Monotone operation counter — the third stream coordinate. Advances
+    /// exactly as a word-by-word loop would, so batched sweeps stay
+    /// bit-identical to looped ones.
+    op_counter: u64,
     temp_c: f64,
     dist_cache: EraseDistCache,
 }
@@ -77,14 +87,16 @@ impl FlashArray {
     /// Creates the array of chip `chip_seed`.
     #[must_use]
     pub fn new(params: PhysicsParams, geometry: FlashGeometry, chip_seed: u64) -> Self {
+        let dist_cache = EraseDistCache::new(params.erase_dist_grid_kcycles);
         Self {
             params,
             geometry,
             chip_seed,
             segments: BTreeMap::new(),
-            op_rng: SplitMix64::new(flashmark_physics::rng::mix2(chip_seed, 0x0505_0505)),
+            op_seed: mix2(chip_seed, 0x0505_0505),
+            op_counter: 0,
             temp_c: 25.0,
-            dist_cache: EraseDistCache::new(),
+            dist_cache,
         }
     }
 
@@ -135,16 +147,16 @@ impl FlashArray {
 
     /// Splits the borrow of `self` into the disjoint parts an operation
     /// needs — parameters, the (lazily materialized) segment cells, the op
-    /// RNG stream, and the erase-distribution cache — so hot paths never
-    /// clone `PhysicsParams` (whose calibration tables are `Vec`-backed and
-    /// would cost two heap allocations per operation).
+    /// counter, and the erase-distribution cache — so hot paths never clone
+    /// `PhysicsParams` (whose calibration tables are `Vec`-backed and would
+    /// cost two heap allocations per operation).
     fn op_context(
         &mut self,
         seg: SegmentAddr,
     ) -> (
         &PhysicsParams,
         &mut SegmentCells,
-        &mut SplitMix64,
+        &mut u64,
         &mut EraseDistCache,
     ) {
         let n = self.geometry.cells_per_segment();
@@ -153,34 +165,18 @@ impl FlashArray {
             params,
             segments,
             chip_seed,
-            op_rng,
+            op_counter,
             dist_cache,
             ..
         } = self;
         let cells = segments
             .entry(seg.index())
             .or_insert_with(|| SegmentCells::materialize(params, *chip_seed, base_cell, n));
-        (params, cells, op_rng, dist_cache)
+        (params, cells, op_counter, dist_cache)
     }
 
-    /// Senses the 16 cells of one word starting at cell `offset`.
-    fn sense_word(
-        params: &PhysicsParams,
-        cells: &SegmentCells,
-        offset: usize,
-        rng: &mut SplitMix64,
-    ) -> u16 {
-        let mut value = 0u16;
-        for (bit, state) in cells.states[offset..offset + WORD_BITS].iter().enumerate() {
-            if sense(params, state, rng) {
-                value |= 1 << bit;
-            }
-        }
-        value
-    }
-
-    /// Programs the 0-bits of `value` into the word at cell `offset`,
-    /// after the strict overwrite check. `word_index` is only for the error.
+    /// Strict-mode overwrite check, then the arena's program-word kernel.
+    /// `word_index` is only for the error.
     fn program_word_cells(
         params: &PhysicsParams,
         cells: &mut SegmentCells,
@@ -188,28 +184,32 @@ impl FlashArray {
         word_index: u32,
         value: u16,
         strict: bool,
-        rng: &mut SplitMix64,
+        stream: CounterStream,
     ) -> Result<(), NorError> {
         if strict {
+            let vref = params.vref.get();
             for bit in 0..WORD_BITS {
                 let wants_one = value & (1 << bit) != 0;
-                let is_zero = !cells.states[offset + bit].ideal_bit(params);
+                let is_zero = cells.arena.vth()[offset + bit] >= vref;
                 if wants_one && is_zero {
                     return Err(NorError::OverwriteWithoutErase { word: word_index });
                 }
             }
         }
-        for bit in 0..WORD_BITS {
-            if value & (1 << bit) == 0 {
-                apply_program(
-                    params,
-                    &cells.statics[offset + bit],
-                    &mut cells.states[offset + bit],
-                    rng,
-                );
+        cells.arena.program_word(params, offset, value, &stream);
+        Ok(())
+    }
+
+    /// Expands a per-word pattern into the per-cell stress mask the arena
+    /// kernels take: bit 0 of the pattern word means "stressed".
+    fn stressed_mask(pattern: &[u16]) -> Vec<bool> {
+        let mut mask = Vec::with_capacity(pattern.len() * WORD_BITS);
+        for &value in pattern {
+            for bit in 0..WORD_BITS {
+                mask.push(value & (1 << bit) == 0);
             }
         }
-        Ok(())
+        mask
     }
 
     /// Senses one word with read noise (one fresh noise draw per bit).
@@ -221,15 +221,16 @@ impl FlashArray {
         self.geometry.check_word(word)?;
         let seg = self.geometry.segment_of(word);
         let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
-        // Split the op stream first to appease the borrow checker.
-        let mut rng = self.op_rng.fork(word.index() as u64);
-        let (params, cells, _, _) = self.op_context(seg);
-        Ok(Self::sense_word(params, cells, offset, &mut rng))
+        let op_seed = self.op_seed;
+        let (params, cells, op_counter, _) = self.op_context(seg);
+        let stream = CounterStream::new(op_seed, u64::from(word.index()), *op_counter);
+        *op_counter += 1;
+        Ok(cells.arena.sense_word(params, offset, &stream))
     }
 
     /// Senses every word of a segment in one sweep (the bulk-read kernel).
     ///
-    /// RNG consumption and results are bit-identical to calling
+    /// Stream derivation and results are bit-identical to calling
     /// [`FlashArray::read_word`] on each word of the segment in order; the
     /// batched form pays the parameter/segment lookup once instead of per
     /// word.
@@ -241,11 +242,14 @@ impl FlashArray {
         self.geometry.check_segment(seg)?;
         let words = self.geometry.words_per_segment();
         let base = self.geometry.first_word(seg);
-        let (params, cells, op_rng, _) = self.op_context(seg);
+        let op_seed = self.op_seed;
+        let (params, cells, op_counter, _) = self.op_context(seg);
         let mut out = Vec::with_capacity(words);
         for w in 0..words {
-            let mut rng = op_rng.fork(base.offset(w as u32).index() as u64);
-            out.push(Self::sense_word(params, cells, w * WORD_BITS, &mut rng));
+            let word_index = u64::from(base.offset(w as u32).index());
+            let stream = CounterStream::new(op_seed, word_index, *op_counter);
+            *op_counter += 1;
+            out.push(cells.arena.sense_word(params, w * WORD_BITS, &stream));
         }
         Ok(out)
     }
@@ -254,7 +258,8 @@ impl FlashArray {
     /// experiments; not reachable through the digital interface).
     pub fn ideal_bits(&mut self, seg: SegmentAddr) -> Vec<bool> {
         let (params, cells, _, _) = self.op_context(seg);
-        cells.states.iter().map(|s| s.ideal_bit(params)).collect()
+        let vref = params.vref.get();
+        cells.arena.vth().iter().map(|&vth| vth < vref).collect()
     }
 
     /// Programs the 0-bits of `value` into a word (flash semantics: a
@@ -277,18 +282,22 @@ impl FlashArray {
         self.geometry.check_word(word)?;
         let seg = self.geometry.segment_of(word);
         let offset = self.geometry.word_offset_in_segment(word) * WORD_BITS;
-        let mut rng = self.op_rng.fork(0x9806_0000 ^ word.index() as u64);
-        let (params, cells, _, _) = self.op_context(seg);
-        Self::program_word_cells(params, cells, offset, word.index(), value, strict, &mut rng)
+        let op_seed = self.op_seed;
+        let (params, cells, op_counter, _) = self.op_context(seg);
+        let stream =
+            CounterStream::new(op_seed, 0x9806_0000 ^ u64::from(word.index()), *op_counter);
+        *op_counter += 1;
+        Self::program_word_cells(params, cells, offset, word.index(), value, strict, stream)
     }
 
     /// Programs every word of a segment in one sweep (the bulk-program
     /// kernel behind block programming).
     ///
-    /// RNG consumption, cell updates, and errors are bit-identical to
+    /// Stream derivation, cell updates, and errors are bit-identical to
     /// calling [`FlashArray::program_word`] on each word in order — in
     /// particular, a strict-mode overwrite error leaves the words before it
-    /// programmed, exactly like the word-by-word loop.
+    /// programmed (and the op counter advanced), exactly like the
+    /// word-by-word loop.
     ///
     /// # Errors
     ///
@@ -309,10 +318,13 @@ impl FlashArray {
             });
         }
         let base = self.geometry.first_word(seg);
-        let (params, cells, op_rng, _) = self.op_context(seg);
+        let op_seed = self.op_seed;
+        let (params, cells, op_counter, _) = self.op_context(seg);
         for (w, &value) in values.iter().enumerate() {
             let word_index = base.offset(w as u32).index();
-            let mut rng = op_rng.fork(0x9806_0000 ^ word_index as u64);
+            let stream =
+                CounterStream::new(op_seed, 0x9806_0000 ^ u64::from(word_index), *op_counter);
+            *op_counter += 1;
             Self::program_word_cells(
                 params,
                 cells,
@@ -320,7 +332,7 @@ impl FlashArray {
                 word_index,
                 value,
                 strict,
-                &mut rng,
+                stream,
             )?;
         }
         Ok(())
@@ -336,22 +348,26 @@ impl FlashArray {
     /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn program_pulse(&mut self, seg: SegmentAddr, t_pp: Micros) -> Result<(), NorError> {
         self.geometry.check_segment(seg)?;
-        let (params, cells, op_rng, _) = self.op_context(seg);
-        let mut rng = op_rng.fork(0x9A27 ^ u64::from(seg.index()));
-        for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
-            flashmark_physics::program::apply_partial_program(
-                params,
-                st,
-                state,
-                t_pp.get(),
-                &mut rng,
-            );
+        let op_seed = self.op_seed;
+        let (params, cells, op_counter, _) = self.op_context(seg);
+        let stream = CounterStream::new(op_seed, 0x9A27 ^ u64::from(seg.index()), *op_counter);
+        *op_counter += 1;
+        // Partial program is inherently serial (each cell draws its own op
+        // noise from the shared sweep stream), so it stays a scalar loop
+        // seeded from the counter stream's key.
+        let mut rng = SplitMix64::new(stream.key());
+        for i in 0..cells.arena.len() {
+            let statics = cells.arena.statics_at(i);
+            let mut state = cells.arena.state_at(i);
+            apply_partial_program(params, &statics, &mut state, t_pp.get(), &mut rng);
+            cells.arena.set_state(i, state);
         }
         Ok(())
     }
 
     /// Applies an erase pulse of nominal duration `t_pe` to a whole segment,
-    /// with per-pulse common-mode and per-cell jitter.
+    /// with per-pulse common-mode and per-cell jitter (the arena's erase
+    /// lane kernel).
     ///
     /// Returns `true` if every cell completed its erase within the pulse.
     ///
@@ -360,22 +376,16 @@ impl FlashArray {
     /// Returns [`NorError::SegmentOutOfRange`] for a bad address.
     pub fn erase_pulse(&mut self, seg: SegmentAddr, t_pe: Micros) -> Result<bool, NorError> {
         self.geometry.check_segment(seg)?;
-        let temp = flashmark_physics::erase::erase_temp_factor(&self.params, self.temp_c);
+        let temp = erase_temp_factor(&self.params, self.temp_c);
         let base_cell = seg.index() as u64 * self.geometry.cells_per_segment() as u64;
-        let (params, cells, op_rng, dist_cache) = self.op_context(seg);
-        let pulse = PulseNoise::draw(params, op_rng);
-        let mut all_done = true;
-        for (i, (st, state)) in cells
-            .statics
-            .iter()
-            .zip(cells.states.iter_mut())
-            .enumerate()
-        {
-            let eff = pulse.effective_us(params, st, base_cell + i as u64, t_pe.get()) * temp;
-            let out = apply_erase_cached(params, st, state, eff, dist_cache);
-            all_done &= out.completed;
-        }
-        Ok(all_done)
+        let op_seed = self.op_seed;
+        let (params, cells, op_counter, dist_cache) = self.op_context(seg);
+        let stream = CounterStream::new(op_seed, 0xE7A5 ^ u64::from(seg.index()), *op_counter);
+        *op_counter += 1;
+        let pulse = PulseNoise::from_stream(params, &stream);
+        Ok(cells
+            .arena
+            .erase_pulse(params, dist_cache, base_cell, &pulse, t_pe.get(), temp))
     }
 
     /// Fully erases a segment (a nominal-duration erase always completes:
@@ -403,19 +413,17 @@ impl FlashArray {
     pub fn erase_completion_time(&mut self, seg: SegmentAddr) -> Result<Micros, NorError> {
         self.geometry.check_segment(seg)?;
         let (params, cells, _, dist_cache) = self.op_context(seg);
-        let worst = cells
-            .statics
-            .iter()
-            .zip(cells.states.iter())
-            .map(|(st, state)| {
-                let t_full = t_full_us_cached(params, st, state, dist_cache);
-                let vth_prog = state.vth_prog_now(params, st);
-                let vth_end = state.vth_erased_now(params, st);
-                let span = (vth_prog - vth_end).max(1e-9);
-                let remaining = ((state.vth - vth_end) / span).clamp(0.0, 1.0);
-                t_full * remaining
-            })
-            .fold(0.0f64, f64::max);
+        let mut worst = 0.0f64;
+        for i in 0..cells.arena.len() {
+            let statics = cells.arena.statics_at(i);
+            let state = cells.arena.state_at(i);
+            let t_full = t_full_us_cached(params, &statics, &state, dist_cache);
+            let vth_prog = state.vth_prog_now(params, &statics);
+            let vth_end = state.vth_erased_now(params, &statics);
+            let span = (vth_prog - vth_end).max(1e-9);
+            let remaining = ((state.vth - vth_end) / span).clamp(0.0, 1.0);
+            worst = worst.max(t_full * remaining);
+        }
         Ok(Micros::new(worst))
     }
 
@@ -423,8 +431,8 @@ impl FlashArray {
     /// at *hypothetical* per-cell wear: cells whose pattern bit is 0 are
     /// evaluated at `stressed_wear`, the rest at `spared_wear`. This is the
     /// early-exit-erase estimator used by the accelerated imprint schedule;
-    /// the calibration lookups go through the erase-distribution cache, so
-    /// repeated sweeps over the same wear levels are cheap.
+    /// it runs as the arena's chunked log-domain max kernel with one final
+    /// `exp`.
     ///
     /// # Errors
     ///
@@ -437,6 +445,43 @@ impl FlashArray {
         stressed_wear: f64,
         spared_wear: f64,
     ) -> Result<f64, NorError> {
+        self.check_pattern(seg, pattern)?;
+        let (params, cells, _, dist_cache) = self.op_context(seg);
+        let mask = Self::stressed_mask(pattern);
+        Ok(cells
+            .arena
+            .max_ln_t_cross(params, dist_cache, &mask, stressed_wear, spared_wear)
+            .exp())
+    }
+
+    /// [`FlashArray::worst_t_cross_us`] for a whole schedule of
+    /// `(stressed_wear, spared_wear)` pairs in one call — the arena prunes
+    /// the segment to the Pareto frontier of cells that can attain the
+    /// maximum, then evaluates only those per pair, bit-identically to the
+    /// one-pair kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NorError::SegmentOutOfRange`] or
+    /// [`NorError::BlockLengthMismatch`].
+    pub fn worst_t_cross_multi(
+        &mut self,
+        seg: SegmentAddr,
+        pattern: &[u16],
+        wear_pairs: &[(f64, f64)],
+    ) -> Result<Vec<f64>, NorError> {
+        self.check_pattern(seg, pattern)?;
+        let (params, cells, _, dist_cache) = self.op_context(seg);
+        let mask = Self::stressed_mask(pattern);
+        Ok(cells
+            .arena
+            .max_ln_t_cross_multi(params, dist_cache, &mask, wear_pairs)
+            .into_iter()
+            .map(f64::exp)
+            .collect())
+    }
+
+    fn check_pattern(&self, seg: SegmentAddr, pattern: &[u16]) -> Result<(), NorError> {
         self.geometry.check_segment(seg)?;
         if pattern.len() != self.geometry.words_per_segment() {
             return Err(NorError::BlockLengthMismatch {
@@ -444,16 +489,7 @@ impl FlashArray {
                 expected: self.geometry.words_per_segment(),
             });
         }
-        let (params, cells, _, dist_cache) = self.op_context(seg);
-        let mut worst: f64 = 0.0;
-        for (chunk, &value) in cells.statics.chunks_exact(WORD_BITS).zip(pattern) {
-            for (bit, st) in chunk.iter().enumerate() {
-                let stressed = value & (1 << bit) == 0;
-                let wear = if stressed { stressed_wear } else { spared_wear };
-                worst = worst.max(t_cross_us_cached(params, st, wear, dist_cache));
-            }
-        }
-        Ok(worst)
+        Ok(())
     }
 
     /// Applies `cycles` P/E cycles of `pattern` to a segment in closed form
@@ -473,24 +509,10 @@ impl FlashArray {
         pattern: &[u16],
         cycles: u64,
     ) -> Result<(), NorError> {
-        self.geometry.check_segment(seg)?;
-        if pattern.len() != self.geometry.words_per_segment() {
-            return Err(NorError::BlockLengthMismatch {
-                got: pattern.len(),
-                expected: self.geometry.words_per_segment(),
-            });
-        }
+        self.check_pattern(seg, pattern)?;
         let (params, cells, _, _) = self.op_context(seg);
-        // Struct-of-arrays sweep: walk the statics/states vectors in word
-        // chunks instead of re-indexing per bit.
-        let statics = cells.statics.chunks_exact(WORD_BITS);
-        let states = cells.states.chunks_exact_mut(WORD_BITS);
-        for ((st_chunk, state_chunk), &value) in statics.zip(states).zip(pattern) {
-            for (bit, (st, state)) in st_chunk.iter().zip(state_chunk.iter_mut()).enumerate() {
-                let programmed = value & (1 << bit) == 0;
-                bulk_pe_stress(params, st, state, cycles as f64, programmed, programmed);
-            }
-        }
+        let mask = Self::stressed_mask(pattern);
+        cells.arena.bulk_stress(params, &mask, cycles as f64);
         Ok(())
     }
 
@@ -503,8 +525,11 @@ impl FlashArray {
             params, segments, ..
         } = self;
         for cells in segments.values_mut() {
-            for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
-                apply_bake(params, st, state, hours, temp_c);
+            for i in 0..cells.arena.len() {
+                let statics = cells.arena.statics_at(i);
+                let mut state = cells.arena.state_at(i);
+                apply_bake(params, &statics, &mut state, hours, temp_c);
+                cells.arena.set_state(i, state);
             }
         }
     }
@@ -512,15 +537,16 @@ impl FlashArray {
     /// Wear statistics of a segment.
     pub fn wear_stats(&mut self, seg: SegmentAddr) -> WearStats {
         let cells = self.segment_cells(seg);
-        let n = cells.states.len() as f64;
+        let wear = cells.arena.wear_cycles();
+        let n = wear.len() as f64;
         let mut stats = WearStats {
             min_cycles: f64::INFINITY,
             ..WearStats::default()
         };
-        for s in &cells.states {
-            stats.min_cycles = stats.min_cycles.min(s.wear_cycles);
-            stats.max_cycles = stats.max_cycles.max(s.wear_cycles);
-            stats.mean_cycles += s.wear_cycles / n;
+        for &w in wear {
+            stats.min_cycles = stats.min_cycles.min(w);
+            stats.max_cycles = stats.max_cycles.max(w);
+            stats.mean_cycles += w / n;
         }
         if stats.min_cycles.is_infinite() {
             stats.min_cycles = 0.0;
@@ -625,9 +651,9 @@ mod tests {
         let mut pattern = vec![0xFFFFu16; 256];
         pattern[0] = 0x0000; // first word stressed
         a.bulk_stress(seg, &pattern, 20_000).unwrap();
-        let cells = a.segment(seg);
-        let stressed = cells.states()[5].wear_cycles;
-        let spared = cells.states()[16 + 5].wear_cycles;
+        let wear = a.segment(seg).arena().wear_cycles();
+        let stressed = wear[5];
+        let spared = wear[16 + 5];
         assert!(stressed > 19_000.0, "stressed wear {stressed}");
         assert!(spared < 1_000.0, "spared wear {spared}");
     }
@@ -777,7 +803,7 @@ mod tests {
             .map(|w| b.read_word(w).unwrap())
             .collect();
         assert_eq!(batched, looped);
-        // And the op-RNG streams are in the same state afterwards.
+        // And the op-counter streams are in the same state afterwards.
         assert_eq!(a.read_word(WordAddr::new(0)), b.read_word(WordAddr::new(0)));
     }
 
@@ -792,11 +818,14 @@ mod tests {
             b.program_word(w, v, true).unwrap();
         }
         assert_eq!(a.ideal_bits(seg), b.ideal_bits(seg));
-        let sa = a.segment(seg).states().to_vec();
-        let sb = b.segment(seg).states().to_vec();
-        for (x, y) in sa.iter().zip(&sb) {
-            assert_eq!(x.vth.to_bits(), y.vth.to_bits());
-            assert_eq!(x.wear_cycles.to_bits(), y.wear_cycles.to_bits());
+        let (sa_vth, sa_wear) = {
+            let cells = a.segment(seg).arena();
+            (cells.vth().to_vec(), cells.wear_cycles().to_vec())
+        };
+        let cells_b = b.segment(seg).arena();
+        for i in 0..sa_vth.len() {
+            assert_eq!(sa_vth[i].to_bits(), cells_b.vth()[i].to_bits());
+            assert_eq!(sa_wear[i].to_bits(), cells_b.wear_cycles()[i].to_bits());
         }
     }
 
@@ -834,6 +863,25 @@ mod tests {
             a.worst_t_cross_us(seg, &[0u16; 2], 0.0, 0.0),
             Err(NorError::BlockLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn worst_t_cross_multi_matches_single_calls() {
+        let mut a = array();
+        let seg = SegmentAddr::new(0);
+        let mut pattern = vec![0xA5A5u16; 256];
+        pattern[17] = 0xFFFF;
+        let pairs: Vec<(f64, f64)> = (0..=16)
+            .map(|s| {
+                let w = 40_000.0 * f64::from(s) / 16.0;
+                (w, w * 0.0172)
+            })
+            .collect();
+        let multi = a.worst_t_cross_multi(seg, &pattern, &pairs).unwrap();
+        for (i, &(sw, pw)) in pairs.iter().enumerate() {
+            let single = a.worst_t_cross_us(seg, &pattern, sw, pw).unwrap();
+            assert_eq!(multi[i].to_bits(), single.to_bits(), "pair {i}");
+        }
     }
 
     #[test]

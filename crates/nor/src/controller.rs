@@ -215,16 +215,19 @@ impl FlashController {
         self.timings.abort_latency + self.timings.read_word * self.poll_words as f64
     }
 
-    /// Estimated erase time of one early-exited erase at a hypothetical
-    /// uniform wear (used by the bulk-imprint time integral): the slowest
-    /// stressed cell's crossing time, extended to full completion.
-    fn early_exit_estimate(
+    /// Estimated erase times of early-exited erases at a schedule of
+    /// hypothetical uniform wear levels (used by the bulk-imprint time
+    /// integral): per level, the slowest stressed cell's crossing time
+    /// extended to full completion. One arena kernel call evaluates the
+    /// whole schedule, so the Pareto pruning of the candidate set is paid
+    /// once instead of per sample.
+    fn early_exit_estimates(
         &mut self,
         seg: SegmentAddr,
         pattern: &[u16],
-        wear_cycles: f64,
-    ) -> Result<Micros, NorError> {
-        let (full_ratio, spared_wear) = {
+        wear_levels: &[f64],
+    ) -> Result<Vec<Micros>, NorError> {
+        let (full_ratio, spared_ratio) = {
             let params = self.array.params();
             // Ratio of full-erase time to reference-crossing time, from the
             // nominal levels (identical for every cell to first order).
@@ -232,15 +235,21 @@ impl FlashController {
             let span_to_ref = params.vth_programmed.mean - params.vref.get();
             // Spared cells still accrue erase-only wear each cycle.
             let spared_ratio = params.wear.erase_only / (params.wear.program + params.wear.erase);
-            (
-                (span_total / span_to_ref).max(1.0),
-                wear_cycles * spared_ratio,
-            )
+            ((span_total / span_to_ref).max(1.0), spared_ratio)
         };
-        let worst = self
-            .array
-            .worst_t_cross_us(seg, pattern, wear_cycles, spared_wear)?;
-        Ok(Micros::new(worst * full_ratio))
+        let pairs: Vec<(f64, f64)> = wear_levels
+            .iter()
+            .map(|&wear_cycles| (wear_cycles, wear_cycles * spared_ratio))
+            .collect();
+        let worsts = self.array.worst_t_cross_multi(seg, pattern, &pairs)?;
+        Ok(worsts
+            .into_iter()
+            .map(|worst| Micros::new(worst * full_ratio))
+            .collect())
+    }
+
+    fn emit_cells_touched(kind: &'static str, cells: u64) {
+        obs::emit(ObsEvent::CellsTouched { kind, cells });
     }
 }
 
@@ -281,6 +290,7 @@ impl FlashInterface for FlashController {
             kind: FlashOpKind::ReadBlock,
             seg: seg.index(),
         });
+        Self::emit_cells_touched("read_block", self.geometry().cells_per_segment() as u64);
         Ok(values)
     }
 
@@ -326,6 +336,7 @@ impl FlashInterface for FlashController {
             kind: FlashOpKind::ProgramBlock,
             seg: seg.index(),
         });
+        Self::emit_cells_touched("program_block", self.geometry().cells_per_segment() as u64);
         Ok(())
     }
 
@@ -358,6 +369,7 @@ impl FlashInterface for FlashController {
             seg: seg.index(),
             t_pe_us: t_pe.get(),
         });
+        Self::emit_cells_touched("partial_erase", self.geometry().cells_per_segment() as u64);
         Ok(())
     }
 
@@ -366,9 +378,11 @@ impl FlashInterface for FlashController {
         self.clear_program_budget(seg);
         self.clock.advance(self.timings.setup_overhead);
         let mut spent = Micros::new(0.0);
+        let mut pulses = 0u64;
         let max_pulses = 4096; // hard stop far beyond any calibrated wear
         for _ in 0..max_pulses {
             let done = self.array.erase_pulse(seg, self.poll_step)?;
+            pulses += 1;
             spent += self.poll_step;
             self.clock.advance(self.poll_step + self.poll_overhead());
             if done {
@@ -384,6 +398,10 @@ impl FlashInterface for FlashController {
             seg: seg.index(),
             took_us: spent.get(),
         });
+        Self::emit_cells_touched(
+            "erase_until_clean",
+            pulses * self.geometry().cells_per_segment() as u64,
+        );
         Ok(spent)
     }
 
@@ -436,14 +454,16 @@ impl BulkStress for FlashController {
                 // Integrate the early-exit erase time over the wear ramp
                 // 0..cycles with a trapezoidal rule over SAMPLES points.
                 const SAMPLES: usize = 16;
+                let wear_levels: Vec<f64> = (0..=SAMPLES)
+                    .map(|s| cycles as f64 * s as f64 / SAMPLES as f64)
+                    .collect();
+                let estimates = self.early_exit_estimates(seg, pattern, &wear_levels)?;
                 let mut erase_total = 0.0;
-                for s in 0..=SAMPLES {
-                    let w = cycles as f64 * s as f64 / SAMPLES as f64;
-                    let est = self.early_exit_estimate(seg, pattern, w)?.get();
+                for (s, est) in estimates.iter().enumerate() {
                     // Round the estimate up to the polling grid and add the
                     // polling overhead the loop implementation would pay.
                     let step = self.poll_step.get();
-                    let pulses = (est / step).ceil().max(1.0);
+                    let pulses = (est.get() / step).ceil().max(1.0);
                     let per_erase = pulses * (step + self.poll_overhead().get())
                         + self.timings.setup_overhead.get();
                     let weight = if s == 0 || s == SAMPLES { 0.5 } else { 1.0 };
@@ -452,6 +472,8 @@ impl BulkStress for FlashController {
                 erase_total *= cycles as f64 / SAMPLES as f64;
                 let write_total = write.get() * cycles as f64;
                 self.clock.advance(Micros::new(erase_total + write_total));
+                let n_cells = self.geometry().cells_per_segment() as u64;
+                Self::emit_cells_touched("early_exit_estimate", (SAMPLES as u64 + 1) * n_cells);
             }
         }
         self.array.bulk_stress(seg, pattern, cycles)?;
@@ -462,6 +484,7 @@ impl BulkStress for FlashController {
             seg: seg.index(),
             cycles,
         });
+        Self::emit_cells_touched("bulk_imprint", self.geometry().cells_per_segment() as u64);
         Ok(self.clock.now() - start)
     }
 }

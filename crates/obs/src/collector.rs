@@ -163,6 +163,7 @@ impl Collector {
                 self.metrics.add("flash", "bulk_imprint", 1);
                 self.metrics.add("wear", "bulk_cycles", cycles);
             }
+            ObsEvent::CellsTouched { kind, cells } => self.metrics.add("cells", kind, cells),
             ObsEvent::SpanEnter { name } => self.metrics.add("span", name, 1),
             ObsEvent::SpanExit { .. } => {}
             ObsEvent::Retry { stage, .. } => self.metrics.add("retry", stage, 1),

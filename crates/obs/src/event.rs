@@ -79,6 +79,14 @@ pub enum ObsEvent {
         /// Stress cycles applied.
         cycles: u64,
     },
+    /// Cell-level work performed by a batched kernel (per-chunk counter
+    /// aggregate — the arena kernels count cells, not per-cell events).
+    CellsTouched {
+        /// Which kernel touched them (`"read_block"`, `"bulk_imprint"`, …).
+        kind: &'static str,
+        /// Number of cell visits (cells × passes).
+        cells: u64,
+    },
     /// Entry into a named phase (see [`span`](crate::span)).
     SpanEnter {
         /// Phase name (`"imprint"`, `"extract"`, …).
@@ -145,6 +153,7 @@ impl ObsEvent {
             Self::PartialErase { .. } => "partial_erase",
             Self::EraseUntilClean { .. } => "erase_until_clean",
             Self::BulkImprint { .. } => "bulk_imprint",
+            Self::CellsTouched { .. } => "cells_touched",
             Self::SpanEnter { .. } => "span_enter",
             Self::SpanExit { .. } => "span_exit",
             Self::Retry { .. } => "retry",
@@ -170,6 +179,9 @@ impl ObsEvent {
             }
             Self::BulkImprint { seg, cycles } => {
                 format!("bulk_imprint seg={seg} cycles={cycles}")
+            }
+            Self::CellsTouched { kind, cells } => {
+                format!("cells_touched {kind} cells={cells}")
             }
             Self::SpanEnter { name } => format!("enter {name}"),
             Self::SpanExit { name } => format!("exit {name}"),
@@ -213,6 +225,11 @@ mod tests {
             }
             .kind_name(),
             ObsEvent::BulkImprint { seg: 0, cycles: 1 }.kind_name(),
+            ObsEvent::CellsTouched {
+                kind: "x",
+                cells: 1,
+            }
+            .kind_name(),
             ObsEvent::SpanEnter { name: "x" }.kind_name(),
             ObsEvent::SpanExit { name: "x" }.kind_name(),
             ObsEvent::Retry {

@@ -102,6 +102,29 @@ impl CellStatics {
             )),
         }
     }
+
+    /// Log-domain straggler slowdown: `ln(1 + extra)`, or `0.0` for the
+    /// non-straggler majority. The lane encoding used by the erase kernels —
+    /// adding it in log space is exactly multiplying by `1 + extra`.
+    #[must_use]
+    pub fn ln_straggler(&self) -> f64 {
+        self.straggler_extra.map_or(0.0, |extra| (1.0 + extra).ln())
+    }
+
+    /// Early-trap activation threshold in kcycles, or `+∞` for cells without
+    /// a trap (an infinite threshold never activates — branch-free lanes).
+    #[must_use]
+    pub fn early_activation_kcycles(&self) -> f64 {
+        self.early
+            .map_or(f64::INFINITY, |trap| trap.activation_kcycles)
+    }
+
+    /// Log-domain early-trap speedup: `ln(factor)`, or `0.0` for cells
+    /// without a trap.
+    #[must_use]
+    pub fn ln_early_factor(&self) -> f64 {
+        self.early.map_or(0.0, |trap| trap.factor.ln())
+    }
 }
 
 /// Dynamic state of one cell: its threshold voltage and accumulated wear.

@@ -8,60 +8,110 @@
 
 use crate::calibration::EraseCalibration;
 use crate::cell::{CellState, CellStatics};
-use crate::params::PhysicsParams;
-use crate::rng::mix64;
-use crate::variation::LogNormal;
+use crate::params::{PhysicsParams, DEFAULT_ERASE_DIST_GRID_KCYCLES};
 
-/// Number of slots in [`EraseDistCache`]; a power of two so the slot index
-/// is a mask, not a division.
-const DIST_CACHE_SLOTS: usize = 512;
+/// Bucket index of effective wear `kcycles` on a quantization grid of
+/// `grid_kcycles`: the nearest grid point. Shared by every path that touches
+/// the erase-distribution table, cached or not, so all of them agree on the
+/// quantized key bit-for-bit.
+#[must_use]
+pub fn wear_bucket(kcycles: f64, grid_kcycles: f64) -> usize {
+    (kcycles / grid_kcycles).round() as usize
+}
 
-/// Sentinel for an empty cache slot. `f64::to_bits` of any *finite* wear
-/// value can never equal it (all-ones is a NaN bit pattern), and wear is
-/// finite by construction.
-const DIST_CACHE_EMPTY: u64 = u64::MAX;
-
-/// A direct-mapped memo for [`EraseCalibration::distribution`].
+/// A quantized, wear-keyed lookup table for
+/// [`EraseCalibration::distribution`].
 ///
-/// The per-pulse hot loop evaluates the calibration interpolation once per
-/// cell per pulse (4096 evaluations per pulse, up to 100 K pulses per
-/// imprint). On uniform-wear segments — every fresh chip, and any segment
-/// stressed by the closed-form bulk path — all cells share the same
-/// `kcycles` key after susceptibility scaling collapses (fresh cells have
-/// `k = 0` exactly), so a tiny cache removes the anchor scan entirely.
-/// Keys are exact `f64` bit patterns: a hit returns the *identical*
-/// [`LogNormal`], keeping cached and uncached paths bit-for-bit equal.
+/// The per-pulse hot loop needs the erase-time distribution once per cell
+/// per pulse (4096 evaluations per pulse, up to 100 K pulses per imprint),
+/// and per-cell susceptibility scaling makes almost every effective-wear key
+/// unique — an exact-key memo never hits on a worn segment. Instead the
+/// effective wear is rounded to the nearest multiple of
+/// `grid_kcycles` ([`PhysicsParams::erase_dist_grid_kcycles`], a committed
+/// parameter) and the table stores `(ln median, sigma)` per bucket as two
+/// dense `Vec<f64>` lanes, extended on demand. At the default 0.25-kcycle
+/// grid the full 0–115 kcycle range is ~460 buckets (≈ 7 KB) — L1-resident.
+///
+/// **Determinism contract:** the cached accessors are bit-identical to the
+/// uncached functions ([`t_cross_us`] etc.), because *both* quantize through
+/// [`wear_bucket`] before consulting the calibration. The quantization grid
+/// is therefore part of the physical parameter record, not a private cache
+/// detail.
 #[derive(Debug, Clone)]
 pub struct EraseDistCache {
-    slots: Vec<(u64, LogNormal)>,
+    grid_kcycles: f64,
+    ln_median: Vec<f64>,
+    sigma: Vec<f64>,
+    monotone: bool,
 }
 
 impl Default for EraseDistCache {
     fn default() -> Self {
-        Self::new()
+        Self::new(DEFAULT_ERASE_DIST_GRID_KCYCLES)
     }
 }
 
 impl EraseDistCache {
-    /// Creates an empty cache.
+    /// Creates an empty table over the given quantization grid (kcycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `grid_kcycles` is positive and finite.
     #[must_use]
-    pub fn new() -> Self {
+    pub fn new(grid_kcycles: f64) -> Self {
+        assert!(
+            grid_kcycles > 0.0 && grid_kcycles.is_finite(),
+            "erase-distribution grid must be positive and finite"
+        );
         Self {
-            slots: vec![(DIST_CACHE_EMPTY, LogNormal::new(1.0, 0.0)); DIST_CACHE_SLOTS],
+            grid_kcycles,
+            ln_median: Vec::new(),
+            sigma: Vec::new(),
+            monotone: true,
         }
     }
 
-    /// `cal.distribution(kcycles)`, memoized on the exact bit pattern of
-    /// `kcycles`.
-    pub fn distribution(&mut self, cal: &EraseCalibration, kcycles: f64) -> LogNormal {
-        let key = kcycles.to_bits();
-        let slot = &mut self.slots[(mix64(key) as usize) & (DIST_CACHE_SLOTS - 1)];
-        if slot.0 == key {
-            return slot.1;
+    /// The quantization grid this table was built on, in kcycles.
+    #[must_use]
+    pub fn grid_kcycles(&self) -> f64 {
+        self.grid_kcycles
+    }
+
+    /// Extends the table so every bucket up to and including `max_bucket` is
+    /// filled. Lane kernels call this once before a loop so the loop body is
+    /// pure reads.
+    pub fn ensure(&mut self, cal: &EraseCalibration, max_bucket: usize) {
+        while self.ln_median.len() <= max_bucket {
+            let kq = self.ln_median.len() as f64 * self.grid_kcycles;
+            let dist = cal.distribution(kq);
+            let ln_median = dist.median.ln();
+            if self.ln_median.last().is_some_and(|&prev| ln_median < prev) {
+                self.monotone = false;
+            }
+            self.ln_median.push(ln_median);
+            self.sigma.push(dist.sigma);
         }
-        let dist = cal.distribution(kcycles);
-        *slot = (key, dist);
-        dist
+    }
+
+    /// The `(ln median, sigma)` lanes filled so far, indexed by bucket.
+    #[must_use]
+    pub fn tables(&self) -> (&[f64], &[f64]) {
+        (&self.ln_median, &self.sigma)
+    }
+
+    /// Whether the `ln median` lane is non-decreasing in wear over the filled
+    /// range. [`EraseCalibration::from_anchors`] guarantees this, but the
+    /// frontier-pruned max kernels in [`crate::arena`] re-check it here and
+    /// fall back to a full scan if a hand-built calibration violates it.
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        self.monotone
+    }
+
+    /// `(ln median, sigma)` for one bucket, filling the table as needed.
+    fn entry(&mut self, cal: &EraseCalibration, bucket: usize) -> (f64, f64) {
+        self.ensure(cal, bucket);
+        (self.ln_median[bucket], self.sigma[bucket])
     }
 }
 
@@ -76,21 +126,67 @@ pub struct EraseOutcome {
     pub completed: bool,
 }
 
+/// Log-domain crossing time: the canonical erase-time formula shared by the
+/// scalar accessors and the chunked lane kernels in [`crate::arena`].
+///
+/// `ln t = ln median(k_q) + sigma(k_q)·z + ln(1 + straggler) +
+/// [k ≥ activation]·ln factor` — one `exp` at the end of whatever kernel
+/// consumes it. The distribution terms are evaluated at the *quantized* wear
+/// `k_q`; the early-trap activation compares against the *raw* effective
+/// wear `kcycles`, preserving the exact activation threshold.
+#[inline]
+#[must_use]
+pub fn ln_t_cross(
+    ln_median: f64,
+    sigma: f64,
+    erase_z: f64,
+    ln_straggler: f64,
+    early_activation_kcycles: f64,
+    ln_early_factor: f64,
+    kcycles: f64,
+) -> f64 {
+    let early = if kcycles >= early_activation_kcycles {
+        ln_early_factor
+    } else {
+        0.0
+    };
+    ln_median + sigma * erase_z + ln_straggler + early
+}
+
+/// [`ln_t_cross`] with the lane terms unpacked from a [`CellStatics`].
+#[inline]
+fn ln_t_cross_statics(ln_median: f64, sigma: f64, statics: &CellStatics, kcycles: f64) -> f64 {
+    ln_t_cross(
+        ln_median,
+        sigma,
+        statics.erase_z,
+        statics.ln_straggler(),
+        statics.early_activation_kcycles(),
+        statics.ln_early_factor(),
+        kcycles,
+    )
+}
+
 /// Static time (µs) for this cell to cross the read reference during an
 /// erase, starting from the fully-programmed level, at `wear_cycles` of wear.
 ///
 /// This excludes per-pulse jitter (the caller folds jitter into the pulse's
-/// effective duration, see [`crate::noise::PulseNoise`]).
+/// effective duration, see [`crate::noise::PulseNoise`]). The calibration
+/// distribution is evaluated at the effective wear quantized to
+/// [`PhysicsParams::erase_dist_grid_kcycles`].
 #[must_use]
 pub fn t_cross_us(params: &PhysicsParams, statics: &CellStatics, wear_cycles: f64) -> f64 {
     // Heterogeneous wear response: weak responders age at a fraction of the
     // applied stress (the source of the paper's bad→good extraction errors).
     let k = wear_cycles * statics.susceptibility / 1000.0;
-    t_cross_from_dist(params.erase_cal.distribution(k), statics, k)
+    let grid = params.erase_dist_grid_kcycles;
+    let kq = wear_bucket(k, grid) as f64 * grid;
+    let dist = params.erase_cal.distribution(kq);
+    ln_t_cross_statics(dist.median.ln(), dist.sigma, statics, k).exp()
 }
 
-/// [`t_cross_us`] with the calibration lookup memoized in `cache`.
-/// Bit-identical to the uncached version.
+/// [`t_cross_us`] with the calibration lookup served from the quantized
+/// table. Bit-identical to the uncached version.
 #[must_use]
 pub fn t_cross_us_cached(
     params: &PhysicsParams,
@@ -98,23 +194,28 @@ pub fn t_cross_us_cached(
     wear_cycles: f64,
     cache: &mut EraseDistCache,
 ) -> f64 {
-    let k = wear_cycles * statics.susceptibility / 1000.0;
-    t_cross_from_dist(cache.distribution(&params.erase_cal, k), statics, k)
+    ln_t_cross_us_cached(params, statics, wear_cycles, cache).exp()
 }
 
-/// Shared tail of the `t_cross` computation once the calibration
-/// distribution for effective wear `k` is in hand.
-fn t_cross_from_dist(dist: LogNormal, statics: &CellStatics, k: f64) -> f64 {
-    let mut t = dist.at(statics.erase_z);
-    if let Some(extra) = statics.straggler_extra {
-        t *= 1.0 + extra;
-    }
-    if let Some(early) = statics.early {
-        if k >= early.activation_kcycles {
-            t *= early.factor;
-        }
-    }
-    t
+/// Log-domain [`t_cross_us_cached`]: the scalar reference for the lane
+/// kernels in [`crate::arena`], which reduce these values with `max` and
+/// take a single `exp` at the end. `t_cross_us_cached` is exactly
+/// `ln_t_cross_us_cached(..).exp()`.
+#[must_use]
+pub fn ln_t_cross_us_cached(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    wear_cycles: f64,
+    cache: &mut EraseDistCache,
+) -> f64 {
+    debug_assert!(
+        cache.grid_kcycles.to_bits() == params.erase_dist_grid_kcycles.to_bits(),
+        "cache grid does not match params grid"
+    );
+    let k = wear_cycles * statics.susceptibility / 1000.0;
+    let bucket = wear_bucket(k, cache.grid_kcycles);
+    let (ln_median, sigma) = cache.entry(&params.erase_cal, bucket);
+    ln_t_cross_statics(ln_median, sigma, statics, k)
 }
 
 /// Time (µs) for this cell to reach its *fully erased* level from the
@@ -378,6 +479,9 @@ mod tests {
         let params = PhysicsParams::msp430_like();
         let mut statics = CellStatics::derive(&params, 9, 7);
         statics.straggler_extra = None;
+        // Unit susceptibility so the raw-wear kcycles below straddle the
+        // trap's activation threshold regardless of the derived draw.
+        statics.susceptibility = 1.0;
         statics.early = Some(EarlyTrap {
             activation_kcycles: 30.0,
             factor: 0.5,
@@ -417,9 +521,35 @@ mod tests {
     }
 
     #[test]
+    fn quantization_grid_defines_the_distribution_key() {
+        let params = PhysicsParams::msp430_like();
+        let mut statics = CellStatics::derive(&params, 9, 10);
+        statics.early = None;
+        statics.susceptibility = 1.0;
+        let grid_cycles = params.erase_dist_grid_kcycles * 1000.0;
+        // Wears inside the same bucket share the exact crossing time; wears
+        // in adjacent buckets see different calibration entries.
+        for bucket in [0u32, 1, 7, 160, 400] {
+            let centre = f64::from(bucket) * grid_cycles;
+            let lo = (centre - 0.49 * grid_cycles).max(0.0);
+            let hi = centre + 0.49 * grid_cycles;
+            assert_eq!(
+                t_cross_us(&params, &statics, lo).to_bits(),
+                t_cross_us(&params, &statics, hi).to_bits(),
+                "bucket {bucket} not flat"
+            );
+            let next = centre + 1.01 * grid_cycles;
+            assert!(
+                t_cross_us(&params, &statics, next) > t_cross_us(&params, &statics, centre),
+                "bucket {bucket} boundary has no step"
+            );
+        }
+    }
+
+    #[test]
     fn cached_paths_are_bit_identical_to_uncached() {
         let params = PhysicsParams::msp430_like();
-        let mut cache = EraseDistCache::new();
+        let mut cache = EraseDistCache::new(params.erase_dist_grid_kcycles);
         for i in 0..512u64 {
             let (statics, state) = programmed_cell(&params, 0xCACE, i);
             // Mix of shared (0, 40k) and per-cell-unique wear keys so both

@@ -41,6 +41,7 @@
 //! assert!(flashmark_physics::cell::sense(&params, &cell, &mut rng)); // reads 1
 //! ```
 
+pub mod arena;
 pub mod calibration;
 pub mod cell;
 pub mod erase;
@@ -53,10 +54,12 @@ pub mod units;
 pub mod variation;
 pub mod wear;
 
+pub use arena::CellArena;
 pub use calibration::{EraseCalibration, SusceptibilityTable, WearAnchor};
 pub use cell::{CellState, CellStatics, EarlyTrap};
 pub use erase::{EraseDistCache, EraseOutcome};
 pub use noise::PulseNoise;
 pub use params::{PhysicsParams, PhysicsParamsBuilder, TailParams, WearWeights};
 pub use retention::RetentionParams;
+pub use rng::CounterStream;
 pub use units::{Micros, Seconds, Volts};

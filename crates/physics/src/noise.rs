@@ -12,9 +12,9 @@
 //! Both are log-normal with sigmas from
 //! [`PhysicsParams`].
 
-use crate::cell::CellStatics;
 use crate::params::PhysicsParams;
-use crate::rng::{mix2, SplitMix64};
+use crate::rng::{mix2, uniform_from_bits, CounterStream, SplitMix64};
+use crate::variation::inverse_normal_cdf;
 
 /// The noise context of one pulse (drawn once per pulse).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +34,16 @@ impl PulseNoise {
         }
     }
 
+    /// Draws the pulse-level noise from a counter-based stream: draw 0 is the
+    /// common-mode deviate, draw 1 seeds the per-cell jitter hash.
+    #[must_use]
+    pub fn from_stream(params: &PhysicsParams, stream: &CounterStream) -> Self {
+        Self {
+            common_factor: (params.common_jitter_sigma * stream.normal(0)).exp(),
+            seed: stream.draw_u64(1),
+        }
+    }
+
     /// A noise-free pulse (useful for deterministic analysis and tests).
     #[must_use]
     pub fn none() -> Self {
@@ -49,17 +59,13 @@ impl PulseNoise {
     /// Deterministic given the pulse and the cell, so the same pulse can be
     /// replayed cell-by-cell in any order.
     #[must_use]
-    pub fn effective_us(
-        &self,
-        params: &PhysicsParams,
-        _statics: &CellStatics,
-        cell_index: u64,
-        nominal_us: f64,
-    ) -> f64 {
+    pub fn effective_us(&self, params: &PhysicsParams, cell_index: u64, nominal_us: f64) -> f64 {
         if self.seed == 0 {
             return nominal_us * self.common_factor;
         }
-        let z = SplitMix64::new(mix2(self.seed, cell_index)).normal();
+        // One avalanche hash and an inverse-CDF normal per cell — stateless,
+        // so lane kernels can replay any subset of cells bit-identically.
+        let z = inverse_normal_cdf(uniform_from_bits(mix2(self.seed, cell_index)));
         let cell_factor = (params.op_jitter_sigma * z).exp();
         nominal_us * self.common_factor * cell_factor
     }
@@ -68,26 +74,23 @@ impl PulseNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::CellStatics;
     use crate::params::PhysicsParams;
 
     #[test]
     fn none_is_identity() {
         let params = PhysicsParams::msp430_like();
-        let statics = CellStatics::derive(&params, 1, 1);
         let pn = PulseNoise::none();
-        assert_eq!(pn.effective_us(&params, &statics, 5, 20.0), 20.0);
+        assert_eq!(pn.effective_us(&params, 5, 20.0), 20.0);
     }
 
     #[test]
     fn common_factor_applies_to_all_cells() {
         let params = PhysicsParams::msp430_like();
-        let statics = CellStatics::derive(&params, 1, 1);
         let mut rng = SplitMix64::new(77);
         let pn = PulseNoise::draw(&params, &mut rng);
         let base = 100.0;
-        let e0 = pn.effective_us(&params, &statics, 0, base);
-        let e1 = pn.effective_us(&params, &statics, 1, base);
+        let e0 = pn.effective_us(&params, 0, base);
+        let e1 = pn.effective_us(&params, 1, base);
         // Both share the common factor; they differ only by the small
         // per-cell jitter.
         let ratio = e0 / e1;
@@ -98,25 +101,23 @@ mod tests {
     #[test]
     fn per_cell_jitter_is_deterministic_for_a_pulse() {
         let params = PhysicsParams::msp430_like();
-        let statics = CellStatics::derive(&params, 1, 1);
         let mut rng = SplitMix64::new(78);
         let pn = PulseNoise::draw(&params, &mut rng);
         assert_eq!(
-            pn.effective_us(&params, &statics, 9, 50.0),
-            pn.effective_us(&params, &statics, 9, 50.0)
+            pn.effective_us(&params, 9, 50.0),
+            pn.effective_us(&params, 9, 50.0)
         );
     }
 
     #[test]
     fn pulses_differ_between_draws() {
         let params = PhysicsParams::msp430_like();
-        let statics = CellStatics::derive(&params, 1, 1);
         let mut rng = SplitMix64::new(79);
         let a = PulseNoise::draw(&params, &mut rng);
         let b = PulseNoise::draw(&params, &mut rng);
         assert_ne!(
-            a.effective_us(&params, &statics, 3, 10.0),
-            b.effective_us(&params, &statics, 3, 10.0)
+            a.effective_us(&params, 3, 10.0),
+            b.effective_us(&params, 3, 10.0)
         );
     }
 

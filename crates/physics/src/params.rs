@@ -70,6 +70,12 @@ impl Default for TailParams {
     }
 }
 
+/// Default erase-distribution quantization grid, in kcycles of effective
+/// wear. A power of two so `k / grid` is an exact scaling, and fine enough
+/// (0.25 kcycles ≈ 250 raw cycles at susceptibility 1) that the quantization
+/// error is far below the log-normal per-cell spread.
+pub const DEFAULT_ERASE_DIST_GRID_KCYCLES: f64 = 0.25;
+
 /// Full physical parameter set of a flash cell population.
 ///
 /// Construct with a preset ([`PhysicsParams::msp430_like`] is the paper's
@@ -107,6 +113,12 @@ pub struct PhysicsParams {
     pub endurance_kcycles: f64,
     /// Wear → erase-time calibration.
     pub erase_cal: EraseCalibration,
+    /// Quantization step (kcycles of effective wear) of the erase-time
+    /// distribution lookup table: every effective-wear key is rounded to the
+    /// nearest multiple of this grid before the calibration interpolation.
+    /// Part of the committed parameter record — changing it changes every
+    /// erase-time draw, so it is versioned alongside the calibration tables.
+    pub erase_dist_grid_kcycles: f64,
     /// Per-cell wear-susceptibility distribution (heterogeneous response).
     pub susceptibility: SusceptibilityTable,
     /// Tail behaviour of the erase-time distribution.
@@ -140,6 +152,7 @@ impl PhysicsParams {
             ref_temp_c: 25.0,
             endurance_kcycles: 100.0,
             erase_cal: EraseCalibration::msp430(),
+            erase_dist_grid_kcycles: DEFAULT_ERASE_DIST_GRID_KCYCLES,
             susceptibility: SusceptibilityTable::msp430(),
             tails: TailParams::default(),
             prog_full_time_us: LogNormal::new(45.0, 0.08),
@@ -215,6 +228,9 @@ impl PhysicsParams {
         }
         if self.tails.early_factor_lo > self.tails.early_factor_hi {
             return Err("early-eraser factor bounds are inverted".into());
+        }
+        if !(self.erase_dist_grid_kcycles > 0.0 && self.erase_dist_grid_kcycles.is_finite()) {
+            return Err("erase-distribution grid must be positive and finite".into());
         }
         Ok(())
     }
@@ -308,6 +324,13 @@ impl PhysicsParamsBuilder {
         self
     }
 
+    /// Sets the erase-distribution quantization grid (kcycles).
+    #[must_use]
+    pub fn erase_dist_grid_kcycles(mut self, grid: f64) -> Self {
+        self.params.erase_dist_grid_kcycles = grid;
+        self
+    }
+
     /// Sets the wear-susceptibility distribution.
     #[must_use]
     pub fn susceptibility(mut self, table: SusceptibilityTable) -> Self {
@@ -381,6 +404,18 @@ mod tests {
         let mut p = PhysicsParams::msp430_like();
         p.erased_vth_shift_per_kcycle = 0.05;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_grid() {
+        assert!(PhysicsParams::builder()
+            .erase_dist_grid_kcycles(0.0)
+            .build()
+            .is_err());
+        assert!(PhysicsParams::builder()
+            .erase_dist_grid_kcycles(f64::INFINITY)
+            .build()
+            .is_err());
     }
 
     #[test]

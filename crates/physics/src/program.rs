@@ -9,7 +9,7 @@ use crate::rng::SplitMix64;
 ///
 /// Programming is a feedback-verified operation on real parts, so the
 /// op-to-op spread is small compared to static variation.
-const PROG_OP_NOISE_SIGMA: f64 = 0.03;
+pub const PROG_OP_NOISE_SIGMA: f64 = 0.03;
 
 /// Fully programs the cell (drives its threshold voltage to the programmed
 /// level for its current wear, with a small per-operation deviation).
@@ -23,7 +23,19 @@ pub fn apply_program(
     state: &mut CellState,
     rng: &mut SplitMix64,
 ) {
-    let target = state.vth_prog_now(params, statics) + PROG_OP_NOISE_SIGMA * rng.normal();
+    apply_program_with_z(params, statics, state, rng.normal());
+}
+
+/// [`apply_program`] with the per-operation noise deviate supplied by the
+/// caller — the entry point for lane kernels whose deviates come from a
+/// counter-based stream instead of a serial generator.
+pub fn apply_program_with_z(
+    params: &PhysicsParams,
+    statics: &CellStatics,
+    state: &mut CellState,
+    z: f64,
+) {
+    let target = state.vth_prog_now(params, statics) + PROG_OP_NOISE_SIGMA * z;
     accrue_program_wear(params, statics, state, target);
     state.vth = state.vth.max(target);
 }

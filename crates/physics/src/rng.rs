@@ -5,13 +5,17 @@
 //! 1. **Static per-cell variation** (process variation): must be a pure
 //!    function of `(chip_seed, cell_index, channel)` so that the same chip
 //!    always has the same cells, regardless of the order operations touch
-//!    them. See [`cell_normal`] / [`cell_uniform`].
-//! 2. **Per-operation noise** (pulse jitter, read noise): drawn from a
-//!    sequential stream, [`SplitMix64`].
+//!    them. See [`cell_normal`] / [`cell_uniform`], backed by
+//!    [`CounterStream`].
+//! 2. **Per-operation noise** (pulse jitter, read noise): counter-based
+//!    [`CounterStream`]s keyed on `(op seed, entity, op counter)` for the
+//!    batched kernels, and the sequential [`SplitMix64`] stream for
+//!    inherently serial paths.
 //!
-//! SplitMix64 is used both as the stream generator and (in its single-step
-//! form) as the avalanche hash for per-cell draws. It is tiny, fast, and has
-//! no external dependency.
+//! Both are built on the SplitMix64 avalanche finalizer ([`mix64`]) — tiny,
+//! fast, and dependency-free. The counter-based form carries no mutable
+//! state, so lane kernels can evaluate draws in any order and still match a
+//! scalar loop bit for bit.
 
 /// A SplitMix64 pseudo-random generator.
 ///
@@ -88,6 +92,77 @@ impl SplitMix64 {
     }
 }
 
+/// A counter-based random stream: a pure function of
+/// `(trial_seed, cell_index, op_counter)` with indexed draws.
+///
+/// Unlike [`SplitMix64`], a `CounterStream` carries **no mutable state**: the
+/// constructor folds its three coordinates into one avalanche-mixed key, and
+/// every draw is `mix2(key, draw_index)`. Because draw *i* never depends on
+/// draw *i − 1*, a lane kernel can evaluate any subset of draws, in any
+/// order, in bulk — and still produce bit-identical values to a scalar loop.
+///
+/// # Example
+///
+/// ```
+/// use flashmark_physics::rng::CounterStream;
+/// let a = CounterStream::new(7, 42, 3);
+/// let b = CounterStream::new(7, 42, 3);
+/// assert_eq!(a.draw_u64(0), b.draw_u64(0));
+/// assert_ne!(a.draw_u64(0), CounterStream::new(7, 42, 4).draw_u64(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterStream {
+    key: u64,
+}
+
+impl CounterStream {
+    /// Derives the stream for operation `op_counter` of entity `cell_index`
+    /// under `trial_seed`.
+    #[must_use]
+    pub const fn new(trial_seed: u64, cell_index: u64, op_counter: u64) -> Self {
+        Self {
+            key: mix2(mix2(trial_seed, cell_index), op_counter),
+        }
+    }
+
+    /// The mixed key; sub-streams can be derived from it with [`mix2`].
+    #[must_use]
+    pub const fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The `draw`-th 64-bit value of the stream.
+    #[must_use]
+    pub const fn draw_u64(&self, draw: u64) -> u64 {
+        mix2(self.key, draw)
+    }
+
+    /// The `draw`-th uniform value, strictly inside `(0, 1)` (safe to feed
+    /// through an inverse CDF) with 52 bits of precision.
+    #[must_use]
+    pub fn uniform(&self, draw: u64) -> f64 {
+        uniform_from_bits(self.draw_u64(draw))
+    }
+
+    /// The `draw`-th standard-normal value, via the inverse normal CDF (one
+    /// uniform per normal — no Box–Muller pairing, so lanes stay branch-free
+    /// and independent).
+    #[must_use]
+    pub fn normal(&self, draw: u64) -> f64 {
+        crate::variation::inverse_normal_cdf(self.uniform(draw))
+    }
+}
+
+/// Maps 64 random bits to a uniform value strictly inside `(0, 1)`.
+///
+/// The top 52 bits are centred on the half-step, so the result is never 0 or
+/// 1 exactly — required by [`crate::variation::inverse_normal_cdf`]. (At 53
+/// bits the largest value would round-to-even up to exactly 1.0.)
+#[must_use]
+pub fn uniform_from_bits(bits: u64) -> f64 {
+    ((bits >> 12) as f64 + 0.5) * (1.0 / (1u64 << 52) as f64)
+}
+
 /// The SplitMix64 finalizer: a high-quality 64-bit avalanche mixer.
 #[must_use]
 pub const fn mix64(mut z: u64) -> u64 {
@@ -132,20 +207,24 @@ pub enum Channel {
     Susceptibility = 11,
 }
 
-fn cell_stream(chip_seed: u64, cell_index: u64, channel: Channel) -> SplitMix64 {
-    SplitMix64::new(mix2(mix2(chip_seed, cell_index), channel as u64))
+fn cell_stream(chip_seed: u64, cell_index: u64, channel: Channel) -> CounterStream {
+    CounterStream::new(chip_seed, cell_index, channel as u64)
 }
 
-/// Deterministic uniform `[0, 1)` draw for a cell/channel pair.
+/// Deterministic uniform draw strictly inside `(0, 1)` for a cell/channel
+/// pair, drawn from the counter-based stream at `(chip_seed, cell_index,
+/// channel)`.
 #[must_use]
 pub fn cell_uniform(chip_seed: u64, cell_index: u64, channel: Channel) -> f64 {
-    cell_stream(chip_seed, cell_index, channel).next_f64()
+    cell_stream(chip_seed, cell_index, channel).uniform(0)
 }
 
-/// Deterministic standard-normal draw for a cell/channel pair.
+/// Deterministic standard-normal draw for a cell/channel pair, via the
+/// inverse normal CDF (no Box–Muller pairing: one uniform per normal keeps
+/// bulk derivation loops branch-light and transcendental-free).
 #[must_use]
 pub fn cell_normal(chip_seed: u64, cell_index: u64, channel: Channel) -> f64 {
-    cell_stream(chip_seed, cell_index, channel).normal()
+    cell_stream(chip_seed, cell_index, channel).normal(0)
 }
 
 #[cfg(test)]
@@ -259,5 +338,49 @@ mod tests {
     #[should_panic(expected = "requires n > 0")]
     fn range_usize_zero_panics() {
         SplitMix64::new(0).range_usize(0);
+    }
+
+    #[test]
+    fn counter_stream_is_a_pure_function_of_its_coordinates() {
+        let a = CounterStream::new(0xABCD, 17, 5);
+        let b = CounterStream::new(0xABCD, 17, 5);
+        for draw in 0..64 {
+            assert_eq!(a.draw_u64(draw), b.draw_u64(draw));
+            assert_eq!(a.uniform(draw).to_bits(), b.uniform(draw).to_bits());
+            assert_eq!(a.normal(draw).to_bits(), b.normal(draw).to_bits());
+        }
+    }
+
+    #[test]
+    fn counter_stream_coordinates_are_independent() {
+        let base = CounterStream::new(1, 2, 3).draw_u64(0);
+        assert_ne!(CounterStream::new(9, 2, 3).draw_u64(0), base);
+        assert_ne!(CounterStream::new(1, 9, 3).draw_u64(0), base);
+        assert_ne!(CounterStream::new(1, 2, 9).draw_u64(0), base);
+        assert_ne!(CounterStream::new(1, 2, 3).draw_u64(1), base);
+    }
+
+    #[test]
+    fn counter_stream_uniform_is_strictly_inside_unit_interval() {
+        // Exercise the extreme bit patterns directly: all-zero and all-one
+        // top bits must still land strictly inside (0, 1).
+        assert!(uniform_from_bits(0) > 0.0);
+        assert!(uniform_from_bits(u64::MAX) < 1.0);
+        let s = CounterStream::new(0xFEED, 0, 0);
+        for draw in 0..10_000 {
+            let u = s.uniform(draw);
+            assert!(u > 0.0 && u < 1.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn counter_stream_normal_moments() {
+        let s = CounterStream::new(0x1234, 7, 0);
+        let n = 100_000u64;
+        let draws: Vec<f64> = (0..n).map(|d| s.normal(d)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
     }
 }

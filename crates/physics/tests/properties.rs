@@ -2,16 +2,26 @@
 
 use proptest::prelude::*;
 
+use flashmark_physics::arena::{reference, CellArena};
 use flashmark_physics::cell::{CellState, CellStatics};
-use flashmark_physics::erase::{apply_erase, t_cross_us, t_full_us};
+use flashmark_physics::erase::{apply_erase, t_cross_us, t_full_us, EraseDistCache};
 use flashmark_physics::program::apply_program;
 use flashmark_physics::retention::apply_bake;
-use flashmark_physics::rng::SplitMix64;
+use flashmark_physics::rng::{CounterStream, SplitMix64};
 use flashmark_physics::wear::bulk_pe_stress;
-use flashmark_physics::{PhysicsParams, SusceptibilityTable};
+use flashmark_physics::{PhysicsParams, PulseNoise, SusceptibilityTable};
 
 fn params() -> PhysicsParams {
     PhysicsParams::msp430_like()
+}
+
+/// A stress mask with both classes populated for any `n >= 1`.
+fn lane_mask(n: usize) -> Vec<bool> {
+    (0..n).map(|i| i % 3 != 0).collect()
+}
+
+fn cache(p: &PhysicsParams) -> EraseDistCache {
+    EraseDistCache::new(p.erase_dist_grid_kcycles)
 }
 
 proptest! {
@@ -144,5 +154,134 @@ proptest! {
     fn statics_are_pure(seed in any::<u64>(), idx in any::<u64>()) {
         let p = params();
         prop_assert_eq!(CellStatics::derive(&p, seed, idx), CellStatics::derive(&p, seed, idx));
+    }
+
+    /// The chunked max-crossing kernel is bit-identical to the retained
+    /// scalar reference for every chunk/tail split (1..=257 covers empty,
+    /// sub-chunk, exact-multiple, and multi-chunk-plus-tail arenas) and
+    /// arbitrary wear pairs.
+    #[test]
+    fn arena_max_ln_t_cross_matches_scalar(
+        seed in any::<u64>(),
+        n in 1u64..258,
+        sw in 0.0f64..120_000.0,
+        pw in 0.0f64..120_000.0,
+    ) {
+        let p = params();
+        let n = n as usize;
+        let a = CellArena::derive(&p, seed, 128, n);
+        let mask = lane_mask(n);
+        let lane = a.max_ln_t_cross(&p, &mut cache(&p), &mask, sw, pw);
+        let scalar = reference::max_ln_t_cross(&a, &p, &mut cache(&p), &mask, sw, pw);
+        prop_assert_eq!(lane.to_bits(), scalar.to_bits());
+    }
+
+    /// The chunked erase-pulse kernel leaves every lane bit-identical to
+    /// the scalar per-cell loop, starting from a stressed (mixed-wear)
+    /// population.
+    #[test]
+    fn arena_erase_pulse_matches_scalar(
+        seed in any::<u64>(),
+        n in 1u64..258,
+        nominal_us in 1.0f64..500.0,
+        stress in 0.0f64..60_000.0,
+    ) {
+        let p = params();
+        let n = n as usize;
+        let mut lane = CellArena::derive(&p, seed, 128, n);
+        let mask = lane_mask(n);
+        lane.bulk_stress(&p, &mask, stress);
+        let mut scalar = lane.clone();
+        let pulse = PulseNoise::from_stream(&p, &CounterStream::new(seed, 0xE7A5, 0));
+        let done_lane = lane.erase_pulse(&p, &mut cache(&p), 128, &pulse, nominal_us, 1.0);
+        let done_scalar =
+            reference::erase_pulse(&mut scalar, &p, &mut cache(&p), 128, &pulse, nominal_us, 1.0);
+        prop_assert_eq!(done_lane, done_scalar);
+        for i in 0..n {
+            prop_assert_eq!(lane.vth()[i].to_bits(), scalar.vth()[i].to_bits());
+            prop_assert_eq!(lane.wear_cycles()[i].to_bits(), scalar.wear_cycles()[i].to_bits());
+        }
+    }
+
+    /// The chunked bulk-stress kernel is bit-identical to the scalar loop.
+    #[test]
+    fn arena_bulk_stress_matches_scalar(
+        seed in any::<u64>(),
+        n in 1u64..258,
+        cycles in 0.0f64..120_000.0,
+    ) {
+        let p = params();
+        let n = n as usize;
+        let mut lane = CellArena::derive(&p, seed, 128, n);
+        let mut scalar = lane.clone();
+        let mask = lane_mask(n);
+        lane.bulk_stress(&p, &mask, cycles);
+        reference::bulk_stress(&mut scalar, &p, &mask, cycles);
+        for i in 0..n {
+            prop_assert_eq!(lane.vth()[i].to_bits(), scalar.vth()[i].to_bits());
+            prop_assert_eq!(lane.wear_cycles()[i].to_bits(), scalar.wear_cycles()[i].to_bits());
+        }
+    }
+}
+
+/// The lane kernel agrees with the scalar reference bit-for-bit at (and
+/// a hair to either side of) **every** quantization bucket boundary of the
+/// erase-distribution LUT up to past rated endurance — the exact wear
+/// levels where a rounding disagreement between the two paths would land
+/// cells in different buckets.
+#[test]
+fn lane_kernel_bitwise_at_every_lut_bucket_boundary() {
+    let p = params();
+    // 13 cells: one full 8-lane chunk plus a 5-cell tail.
+    let a = CellArena::derive(&p, 0x1D5EED, 128, 13);
+    let mask = lane_mask(13);
+    let mut lane_cache = cache(&p);
+    let mut scalar_cache = cache(&p);
+    let grid = p.erase_dist_grid_kcycles;
+    let buckets = (130.0 / grid).ceil() as usize;
+    for b in 0..=buckets {
+        // Buckets are round(k / grid): the boundary between b and b+1
+        // sits at (b + 0.5) * grid kcycles of effective wear.
+        let boundary_k = (b as f64 + 0.5) * grid;
+        for eps in [-1e-6, 0.0, 1e-6] {
+            let wear = ((boundary_k + eps) * 1000.0).max(0.0);
+            let lane = a.max_ln_t_cross(&p, &mut lane_cache, &mask, wear, wear * 0.3);
+            let scalar =
+                reference::max_ln_t_cross(&a, &p, &mut scalar_cache, &mask, wear, wear * 0.3);
+            assert_eq!(
+                lane.to_bits(),
+                scalar.to_bits(),
+                "bucket {b} eps {eps}: lane {lane} vs scalar {scalar}"
+            );
+        }
+    }
+}
+
+/// The batched multi-wear kernel (Pareto-frontier pruning) matches the
+/// single-pair kernel bit-for-bit on a schedule that visits every LUT
+/// bucket up to past rated endurance.
+#[test]
+fn multi_schedule_bitwise_across_every_lut_bucket() {
+    let p = params();
+    let a = CellArena::derive(&p, 0x0D15EA5E, 128, 13);
+    let mask = lane_mask(13);
+    let grid = p.erase_dist_grid_kcycles;
+    let buckets = (130.0 / grid).ceil() as usize;
+    let pairs: Vec<(f64, f64)> = (0..=buckets)
+        .map(|b| {
+            let wear = b as f64 * grid * 1000.0;
+            (wear, wear * 0.3)
+        })
+        .collect();
+    let mut multi_cache = cache(&p);
+    let multi = a.max_ln_t_cross_multi(&p, &mut multi_cache, &mask, &pairs);
+    let mut single_cache = cache(&p);
+    for (i, &(sw, pw)) in pairs.iter().enumerate() {
+        let single = a.max_ln_t_cross(&p, &mut single_cache, &mask, sw, pw);
+        assert_eq!(
+            multi[i].to_bits(),
+            single.to_bits(),
+            "pair {i} (stressed {sw}, spared {pw})"
+        );
     }
 }

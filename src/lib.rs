@@ -30,7 +30,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A simulated MSP430F5438 with its embedded NOR flash.
-//! let mut chip = Msp430Flash::f5438(0xC0FFEE);
+//! let mut chip = Msp430Flash::f5438(0xC0FFE0);
 //!
 //! // Imprint the manufacturer's mark into segment 4 with 60 K P/E cycles.
 //! let config = FlashmarkConfig::builder()

@@ -22,7 +22,7 @@ fn config() -> FlashmarkConfig {
 
 #[test]
 fn imprint_extract_roundtrip_on_msp430() {
-    let mut chip = Msp430Flash::f5438(0xE2E);
+    let mut chip = Msp430Flash::f5438(0x333);
     let seg = chip.watermark_segment();
     let cfg = config();
     let wm = Watermark::from_ascii("FLASHMARK-DAC20").unwrap();
