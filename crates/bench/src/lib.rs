@@ -32,4 +32,5 @@ pub mod microbench;
 pub mod observability;
 pub mod output;
 pub mod paper;
+pub mod service_campaign;
 pub mod suite;

@@ -298,7 +298,10 @@ impl RuntimeReport {
 /// Panics if the simulated controller rejects one of the kernel
 /// operations — impossible for the fixed in-range geometry used here.
 #[must_use]
+#[allow(clippy::too_many_lines)]
 pub fn kernel_suite() -> RuntimeReport {
+    const ENQUEUE_REQUESTS: u64 = 4096;
+    const DRAIN_REQUESTS: u64 = 32;
     let bench = Bench::new("kernel").samples(10);
     let seg = SegmentAddr::new(0);
     let chip = || {
@@ -364,6 +367,60 @@ pub fn kernel_suite() -> RuntimeReport {
         "bulk_stress_5k",
         bench.bench_with_setup("bulk_stress_5k", touched, bulk),
         traced_ops(touched, bulk),
+    );
+
+    // Service-path kernels. Ops are passed explicitly instead of via
+    // `traced_ops`: the service installs its own per-request collectors, so
+    // an outer collector would see nothing.
+    let service = || {
+        let config = crate::service_campaign::campaign_config();
+        let population = flashmark_serve::PopulationSpec::tiny(0xBE7C)
+            .build(&config, crate::service_campaign::CAMPAIGN_MANUFACTURER)
+            .expect("population");
+        flashmark_serve::VerificationService::new(
+            population,
+            flashmark_serve::ServiceConfig::new(
+                config,
+                crate::service_campaign::CAMPAIGN_MANUFACTURER,
+                0xBE7C,
+            ),
+        )
+        .expect("service")
+    };
+    let enqueue = |mut svc: flashmark_serve::VerificationService| {
+        let handle = svc.handle();
+        let n = svc.population().len() as u64;
+        for i in 0..ENQUEUE_REQUESTS {
+            handle
+                .submit(crate::service_campaign::campaign_request(0xBE7C, i, n))
+                .expect("submit");
+        }
+        assert_eq!(svc.drain().len() as u64, ENQUEUE_REQUESTS);
+    };
+    add(
+        "service_enqueue",
+        bench.bench_with_setup("service_enqueue", service, enqueue),
+        ENQUEUE_REQUESTS,
+    );
+    let drained = || {
+        let svc = service();
+        let handle = svc.handle();
+        let n = svc.population().len() as u64;
+        for i in 0..DRAIN_REQUESTS {
+            handle
+                .submit(crate::service_campaign::campaign_request(0xBE7C, i, n))
+                .expect("submit");
+        }
+        svc
+    };
+    let drain = |mut svc: flashmark_serve::VerificationService| {
+        let report = svc.serve_drained(1).expect("serve");
+        assert_eq!(report.recorded, DRAIN_REQUESTS);
+    };
+    add(
+        "service_shard_drain",
+        bench.bench_with_setup("service_shard_drain", drained, drain),
+        DRAIN_REQUESTS,
     );
     report
 }

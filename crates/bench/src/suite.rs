@@ -760,6 +760,65 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         },
     );
 
+    // Verification-service campaign. The deterministic summary goes to
+    // service_campaign_smoke.json (the CI `service-smoke` diff target —
+    // the Full profile writes the same 10 k-request shape the
+    // `service_campaign --smoke` bin produces); wall clock is quarantined
+    // into service_timings.json like obs_timings.json. The committed
+    // million-request service_campaign.json comes from the bin's default
+    // run, not the suite.
+    let svc_opts = if smoke {
+        crate::service_campaign::ServiceCampaignOptions::tiny(opts.threads)
+    } else {
+        crate::service_campaign::ServiceCampaignOptions::smoke(opts.threads)
+    };
+    step(
+        &mut outcomes,
+        &mut md,
+        "service_campaign_smoke",
+        svc_opts.requests as usize,
+        |md| {
+            let t0 = Instant::now();
+            let data = crate::service_campaign::run_service_campaign(&svc_opts, |_| {})?;
+            let wall_s = t0.elapsed().as_secs_f64();
+            write_json_in(dir, "service_campaign_smoke", &data)?;
+            let timings = crate::service_campaign::ServiceTimings {
+                threads: opts.threads,
+                requests: data.requests,
+                wall_s,
+                requests_per_s: data.requests as f64 / wall_s.max(1e-9),
+            };
+            write_json_in(dir, "service_timings", &timings)?;
+            let accepts: u64 = data
+                .verdict_mix
+                .iter()
+                .filter(|r| r.verdict == "accept")
+                .map(|r| r.count)
+                .sum();
+            row(
+                md,
+                "service",
+                "requests verified / accepted",
+                "—".into(),
+                format!("{} / {accepts}", data.requests),
+            );
+            row(
+                md,
+                "service",
+                "registry root (records / seals)",
+                "—".into(),
+                format!(
+                    "{} ({} / {})",
+                    data.registry_root, data.registry_records, data.registry_seals
+                ),
+            );
+            if data.duplicates != 0 {
+                return Err("service campaign saw duplicate request ids".into());
+            }
+            Ok(())
+        },
+    );
+
     // Supply-chain scenario.
     step(&mut outcomes, &mut md, "scenario", 1, |md| {
         let stats = SupplyChainScenario::new(ScenarioConfig::small(0x5CA1E)).run()?;

@@ -74,6 +74,27 @@ proptest! {
         prop_assert_eq!(&forward, &tree);
     }
 
+    /// `group_total` distributes over `absorb`: the merged total of any
+    /// counter group equals the sum of per-trial totals. The provenance
+    /// service derives its per-request retry-ladder depth and transient
+    /// retry count from `group_total("ladder")` / `group_total("retry")`,
+    /// so this is what keeps those registry histograms shard-independent.
+    #[test]
+    fn group_totals_distribute_over_merge(
+        ops in collection::vec(any::<u64>(), 0..200),
+        chunk in 1usize..17,
+    ) {
+        let per_trial = trials(&ops, chunk);
+        let mut merged = Metrics::new();
+        for m in &per_trial {
+            merged.absorb(m);
+        }
+        for group in GROUPS {
+            let summed: u64 = per_trial.iter().map(|m| m.group_total(group)).sum();
+            prop_assert_eq!(merged.group_total(group), summed);
+        }
+    }
+
     /// Absorbing an empty metric set is a no-op in either direction.
     #[test]
     fn empty_is_the_merge_identity(ops in collection::vec(any::<u64>(), 0..100)) {

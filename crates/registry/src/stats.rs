@@ -1,0 +1,165 @@
+//! Merge-commutative service aggregates: verdict mixes and retry-ladder
+//! histograms.
+//!
+//! Shards fold their own [`ServiceStats`] and the serving layer merges
+//! them with [`ServiceStats::absorb`] — a pointwise addition over
+//! `BTreeMap`s, commutative and associative, so the aggregate is
+//! independent of shard interleaving and worker scheduling (the same law
+//! `flashmark_obs::Metrics` rests on, extended to the service's
+//! dynamically-keyed per-class counters).
+
+use std::collections::BTreeMap;
+
+use crate::record::{Record, RecordVerdict};
+
+/// Deterministic counters aggregated over verification records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// `(provenance class, verdict name)` → record count.
+    verdict_mix: BTreeMap<(String, &'static str), u64>,
+    /// Retry-ladder depth → record count.
+    ladder: BTreeMap<u32, u64>,
+    /// Transient-retry count → record count.
+    retries: BTreeMap<u32, u64>,
+    /// Records folded in.
+    requests: u64,
+}
+
+impl ServiceStats {
+    /// An empty aggregate (the merge identity).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record into the aggregate.
+    pub fn record(&mut self, r: &Record) {
+        *self
+            .verdict_mix
+            .entry((r.class.clone(), r.verdict.name()))
+            .or_insert(0) += 1;
+        *self.ladder.entry(r.ladder_depth).or_insert(0) += 1;
+        *self.retries.entry(r.retries).or_insert(0) += 1;
+        self.requests += 1;
+    }
+
+    /// Pointwise-adds `other` into `self` — commutative and associative,
+    /// so shard aggregates merge order-independently.
+    pub fn absorb(&mut self, other: &Self) {
+        for (key, v) in &other.verdict_mix {
+            *self.verdict_mix.entry(key.clone()).or_insert(0) += v;
+        }
+        for (&depth, v) in &other.ladder {
+            *self.ladder.entry(depth).or_insert(0) += v;
+        }
+        for (&n, v) in &other.retries {
+            *self.retries.entry(n).or_insert(0) += v;
+        }
+        self.requests += other.requests;
+    }
+
+    /// Records folded in.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The count of a `(class, verdict)` cell (0 if never seen).
+    #[must_use]
+    pub fn verdicts(&self, class: &str, verdict: RecordVerdict) -> u64 {
+        self.verdict_mix
+            .get(&(class.to_string(), verdict.name()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All `(class, verdict, count)` cells in sorted order.
+    pub fn verdict_mix(&self) -> impl Iterator<Item = (&str, &'static str, u64)> + '_ {
+        self.verdict_mix
+            .iter()
+            .map(|((class, verdict), &n)| (class.as_str(), *verdict, n))
+    }
+
+    /// All `(ladder_depth, count)` bins in sorted order.
+    pub fn ladder_histogram(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.ladder.iter().map(|(&d, &n)| (d, n))
+    }
+
+    /// All `(retries, count)` bins in sorted order.
+    pub fn retry_histogram(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.retries.iter().map(|(&r, &n)| (r, n))
+    }
+
+    /// True when nothing has been folded in.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(class: &str, verdict: RecordVerdict, ladder: u32, retries: u32) -> Record {
+        Record {
+            request_id: 0,
+            chip_id: 0,
+            class: class.into(),
+            commit: String::new(),
+            params: String::new(),
+            verdict,
+            reason: String::new(),
+            metrics: String::new(),
+            ladder_depth: ladder,
+            retries,
+        }
+    }
+
+    #[test]
+    fn folding_counts_cells_and_bins() {
+        let mut s = ServiceStats::new();
+        s.record(&rec("genuine", RecordVerdict::Accept, 1, 0));
+        s.record(&rec("genuine", RecordVerdict::Accept, 1, 0));
+        s.record(&rec("clone", RecordVerdict::Reject, 5, 2));
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.verdicts("genuine", RecordVerdict::Accept), 2);
+        assert_eq!(s.verdicts("clone", RecordVerdict::Reject), 1);
+        assert_eq!(s.verdicts("clone", RecordVerdict::Accept), 0);
+        assert_eq!(
+            s.ladder_histogram().collect::<Vec<_>>(),
+            vec![(1, 2), (5, 1)]
+        );
+        assert_eq!(
+            s.retry_histogram().collect::<Vec<_>>(),
+            vec![(0, 2), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn absorb_is_commutative() {
+        let mut a = ServiceStats::new();
+        a.record(&rec("genuine", RecordVerdict::Accept, 1, 0));
+        a.record(&rec("recycled", RecordVerdict::Reject, 1, 0));
+        let mut b = ServiceStats::new();
+        b.record(&rec("recycled", RecordVerdict::Accept, 2, 1));
+
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.requests(), 3);
+    }
+
+    #[test]
+    fn empty_is_the_identity() {
+        let mut s = ServiceStats::new();
+        s.record(&rec("genuine", RecordVerdict::Inconclusive, 0, 4));
+        let mut merged = s.clone();
+        merged.absorb(&ServiceStats::new());
+        assert_eq!(merged, s);
+        assert!(ServiceStats::new().is_empty());
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Golden-vector regression pinning the registry record schema: builds a
+//! three-record log — one record per verdict class, all inputs fixed — and
+//! compares the serialized registry byte-for-byte against the committed
+//! `results/registry_golden.log`, mirroring the fig05 golden test. Any
+//! drift in the canonical field order, the string escaping, the digest
+//! function, or the seal/trailer framing shows up here as an exact-byte
+//! mismatch rather than a silently changed log format.
+//!
+//! To regenerate after an *intentional* schema change:
+//! `FLASHMARK_REGEN_GOLDEN=1 cargo test -p flashmark-registry --test golden_schema`
+
+use std::path::PathBuf;
+
+use flashmark_registry::{Record, RecordVerdict, Registry, RegistryOptions};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/registry_golden.log")
+}
+
+/// The fixed params line every golden record carries: the campaign recipe
+/// in the serving layer's canonical key order.
+const PARAMS: &str = "{\"n_pe\":60000,\"t_pew_us\":23,\"replicas\":5,\"reads\":1,\
+                      \"layout\":\"interleaved\",\"accelerated\":true}";
+
+/// One fully pinned record per verdict class, shaped exactly like the
+/// verification service's output (accepts carry an empty reason; rejects
+/// and inconclusives carry a stable reason label and the obs-derived
+/// ladder/retry scalars).
+fn golden_records() -> Vec<Record> {
+    vec![
+        Record {
+            request_id: 0,
+            chip_id: 17,
+            class: "genuine".to_string(),
+            commit: "flashmark-serve/golden".to_string(),
+            params: PARAMS.to_string(),
+            verdict: RecordVerdict::Accept,
+            reason: String::new(),
+            metrics: "{\"flash.read_word\":4096,\"ladder.rung\":1}".to_string(),
+            ladder_depth: 1,
+            retries: 0,
+        },
+        Record {
+            request_id: 1,
+            chip_id: 92,
+            class: "rebranded".to_string(),
+            commit: "flashmark-serve/golden".to_string(),
+            params: PARAMS.to_string(),
+            verdict: RecordVerdict::Reject,
+            reason: "no_watermark".to_string(),
+            metrics: "{\"flash.read_word\":4096,\"ladder.rung\":1}".to_string(),
+            ladder_depth: 1,
+            retries: 0,
+        },
+        Record {
+            request_id: 2,
+            chip_id: 45,
+            class: "recycled".to_string(),
+            commit: "flashmark-serve/golden".to_string(),
+            params: PARAMS.to_string(),
+            verdict: RecordVerdict::Inconclusive,
+            reason: "transient_faults".to_string(),
+            metrics: "{\"flash.read_word\":20480,\"ladder.rung\":5,\"retry.transient\":3}"
+                .to_string(),
+            ladder_depth: 5,
+            retries: 3,
+        },
+    ]
+}
+
+fn golden_registry() -> Registry {
+    // seal_every: 2 so the fixture also pins the seal-line framing: one
+    // seal covers records 0–1, record 2 stays in the open segment.
+    let mut registry = Registry::new(RegistryOptions {
+        seal_every: 2,
+        retain_records: true,
+    });
+    for record in golden_records() {
+        registry.append(record);
+    }
+    registry
+}
+
+#[test]
+fn registry_log_matches_committed_golden_fixture() {
+    let registry = golden_registry();
+    let contents = registry.contents();
+    let path = fixture_path();
+
+    if std::env::var_os("FLASHMARK_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &contents).expect("write fixture");
+        return;
+    }
+
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        contents, committed,
+        "registry serialization drifted from results/registry_golden.log \
+         (regenerate with FLASHMARK_REGEN_GOLDEN=1 only for intentional \
+         schema changes)"
+    );
+}
+
+#[test]
+fn golden_log_pins_one_record_per_verdict_class() {
+    let registry = golden_registry();
+    assert_eq!(registry.len(), 3);
+    assert_eq!(registry.seals().len(), 1, "records 0-1 must be sealed");
+    let records: Vec<&String> = registry
+        .lines()
+        .iter()
+        .filter(|l| !l.starts_with("{\"seal\""))
+        .collect();
+    assert_eq!(records.len(), 3);
+    for (line, verdict) in records.iter().zip(["accept", "reject", "inconclusive"]) {
+        assert!(
+            line.contains(&format!("\"verdict\":\"{verdict}\"")),
+            "expected a {verdict} record: {line}"
+        );
+        // Every record line carries the full canonical schema.
+        for key in [
+            "\"seq\":",
+            "\"request_id\":",
+            "\"chip_id\":",
+            "\"class\":",
+            "\"verdict\":",
+            "\"reason\":",
+            "\"ladder_depth\":",
+            "\"retries\":",
+            "\"commit\":",
+            "\"params\":",
+            "\"metrics\":",
+            "\"digest\":",
+            "\"chain\":",
+        ] {
+            assert!(line.contains(key), "{key} missing from record line: {line}");
+        }
+    }
+}

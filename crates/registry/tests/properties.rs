@@ -1,0 +1,162 @@
+//! Property tests of the two laws the fleet-scale registry rests on:
+//!
+//! * [`ServiceStats::absorb`] is commutative and associative, so the
+//!   campaign aggregate is independent of how requests were sharded and of
+//!   which worker finished first — the same merge law
+//!   `flashmark_obs::Metrics` obeys, extended to the service's
+//!   dynamically-keyed per-class verdict mix.
+//! * [`Registry::append`] is idempotent on `request_id`, so replaying any
+//!   portion of a request stream never changes the log's root digest,
+//!   record count, or aggregates.
+
+use proptest::prelude::*;
+
+use flashmark_registry::{Record, RecordVerdict, Registry, RegistryOptions, ServiceStats};
+
+const CLASSES: [&str; 5] = [
+    "genuine",
+    "fallout_forged",
+    "recycled",
+    "clone",
+    "rebranded",
+];
+
+/// Decodes one `u64` into a verification record so proptest strategies
+/// stay plain integer vectors. `request_id` is assigned by the caller.
+fn record_from(op: u64, request_id: u64) -> Record {
+    let verdict = match op % 3 {
+        0 => RecordVerdict::Accept,
+        1 => RecordVerdict::Reject,
+        _ => RecordVerdict::Inconclusive,
+    };
+    Record {
+        request_id,
+        chip_id: (op >> 2) & 0x7F,
+        class: CLASSES[(op >> 9) as usize % CLASSES.len()].to_string(),
+        commit: "prop".to_string(),
+        params: "{}".to_string(),
+        verdict,
+        reason: String::new(),
+        metrics: "{}".to_string(),
+        ladder_depth: (op >> 12) as u32 % 6,
+        retries: (op >> 15) as u32 % 4,
+    }
+}
+
+/// Splits the encoded stream into per-shard chunks and folds each shard's
+/// own [`ServiceStats`], exactly as the serving layer's workers do.
+fn shard_stats(ops: &[u64], chunk: usize) -> Vec<ServiceStats> {
+    ops.chunks(chunk.max(1))
+        .enumerate()
+        .map(|(shard, chunk_ops)| {
+            let mut stats = ServiceStats::new();
+            for (i, &op) in chunk_ops.iter().enumerate() {
+                stats.record(&record_from(op, (shard * 1000 + i) as u64));
+            }
+            stats
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forward merge, reverse merge, and a two-phase tree merge of the
+    /// same per-shard aggregates all agree, and all equal the single-shard
+    /// sequential fold — the verdict mix and both histograms cannot depend
+    /// on shard interleaving.
+    #[test]
+    fn stats_merge_is_order_independent(
+        ops in proptest::collection::vec(any::<u64>(), 0..200),
+        chunk in 1usize..17,
+    ) {
+        let per_shard = shard_stats(&ops, chunk);
+
+        let mut forward = ServiceStats::new();
+        for s in &per_shard {
+            forward.absorb(s);
+        }
+        let mut reverse = ServiceStats::new();
+        for s in per_shard.iter().rev() {
+            reverse.absorb(s);
+        }
+        let mut tree = ServiceStats::new();
+        for pair in per_shard.chunks(2) {
+            let mut partial = ServiceStats::new();
+            for s in pair {
+                partial.absorb(s);
+            }
+            tree.absorb(&partial);
+        }
+        // The unsharded fold: one worker seeing the whole stream.
+        let serial = shard_stats(&ops, ops.len().max(1))
+            .pop()
+            .unwrap_or_default();
+
+        prop_assert_eq!(&forward, &reverse);
+        prop_assert_eq!(&forward, &tree);
+        prop_assert_eq!(forward.requests(), ops.len() as u64);
+        prop_assert_eq!(
+            forward.verdict_mix().collect::<Vec<_>>(),
+            serial.verdict_mix().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            forward.ladder_histogram().collect::<Vec<_>>(),
+            serial.ladder_histogram().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            forward.retry_histogram().collect::<Vec<_>>(),
+            serial.retry_histogram().collect::<Vec<_>>()
+        );
+    }
+
+    /// Absorbing an empty aggregate is a no-op in either direction.
+    #[test]
+    fn empty_is_the_merge_identity(
+        ops in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let s = shard_stats(&ops, ops.len().max(1)).pop().unwrap_or_default();
+        let mut left = ServiceStats::new();
+        left.absorb(&s);
+        let mut right = s.clone();
+        right.absorb(&ServiceStats::new());
+        prop_assert_eq!(&left, &s);
+        prop_assert_eq!(&right, &s);
+    }
+
+    /// Replaying any interleaving of already-appended records leaves the
+    /// registry untouched: same root digest, same record count, same
+    /// aggregates, same serialized bytes — duplicates only bump the
+    /// rejection counter.
+    #[test]
+    fn duplicate_append_is_idempotent(
+        ops in proptest::collection::vec(any::<u64>(), 1..80),
+        seal_every in 1u64..16,
+        replay_stride in 1usize..5,
+    ) {
+        let mut registry = Registry::new(RegistryOptions {
+            seal_every,
+            retain_records: true,
+        });
+        for (i, &op) in ops.iter().enumerate() {
+            registry.append(record_from(op, i as u64));
+        }
+        let root = registry.root();
+        let len = registry.len();
+        let stats = registry.stats().clone();
+        let contents = registry.contents();
+
+        // Replay a subsequence (stride picks which ids repeat).
+        let mut replayed = 0u64;
+        for (i, &op) in ops.iter().enumerate().step_by(replay_stride) {
+            registry.append(record_from(op, i as u64));
+            replayed += 1;
+        }
+
+        prop_assert_eq!(registry.root(), root, "root digest changed on replay");
+        prop_assert_eq!(registry.len(), len);
+        prop_assert_eq!(registry.stats(), &stats);
+        prop_assert_eq!(registry.contents(), contents);
+        prop_assert_eq!(registry.duplicates_rejected(), replayed);
+    }
+}

@@ -20,6 +20,12 @@
 //! * [`fault`] — deterministic fault injection: wraps any flash interface
 //!   and injects power loss, bit flips, read disturb, timing jitter and
 //!   transient interface errors from a seed-driven [`fault::FaultPlan`].
+//! * [`registry`] — append-only provenance registry: one digest-chained
+//!   record per verification, sealed segments, merge-commutative service
+//!   aggregates.
+//! * [`serve`] — the incoming-inspection verification service: a channel
+//!   front end sharding batched verify requests across workers while
+//!   keeping the registry byte-identical at any thread count.
 //!
 //! # Quickstart
 //!
@@ -56,5 +62,7 @@ pub use flashmark_msp430 as msp430;
 pub use flashmark_nand as nand;
 pub use flashmark_nor as nor;
 pub use flashmark_physics as physics;
+pub use flashmark_registry as registry;
 pub use flashmark_sanitizer as sanitizer;
+pub use flashmark_serve as serve;
 pub use flashmark_supply as supply;

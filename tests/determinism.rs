@@ -50,9 +50,10 @@ fn scenario_statistics_are_reproducible() {
 
 /// The parallel trial engine's core guarantee: a reduced-profile `run_all`
 /// produces byte-identical JSON artifacts at 1 worker thread (the exact
-/// legacy serial path) and at 8. The only exception is `obs_timings.json`,
-/// which exists precisely to quarantine wall-clock measurements away from
-/// the deterministic artifacts.
+/// legacy serial path) and at 8. The only exceptions are
+/// `obs_timings.json` and `service_timings.json`, which exist precisely to
+/// quarantine wall-clock measurements away from the deterministic
+/// artifacts.
 #[test]
 fn suite_json_artifacts_identical_across_thread_counts() {
     use flashmark_bench::suite::{run_suite, Profile, SuiteOptions};
@@ -76,9 +77,12 @@ fn suite_json_artifacts_identical_across_thread_counts() {
         for entry in std::fs::read_dir(&dir).expect("results dir") {
             let path = entry.expect("dir entry").path();
             let name = path.file_name().unwrap().to_string_lossy().into_owned();
-            // The quarantine file for wall-clock data is the one JSON
-            // artifact allowed to differ between runs.
-            if path.extension().is_some_and(|e| e == "json") && name != "obs_timings.json" {
+            // The quarantine files for wall-clock data are the only JSON
+            // artifacts allowed to differ between runs.
+            if path.extension().is_some_and(|e| e == "json")
+                && name != "obs_timings.json"
+                && name != "service_timings.json"
+            {
                 files.insert(name, std::fs::read(&path).expect("artifact"));
             }
         }

@@ -1,0 +1,136 @@
+//! The provenance service's fleet-scale determinism guarantees: any
+//! `--threads N` produces a byte-identical registry and campaign artifact,
+//! and replaying a batch never duplicates records.
+
+use flashmark_bench::json::ToJson as _;
+use flashmark_bench::service_campaign::{
+    build_campaign_service, campaign_request, summarize, ServiceCampaignOptions,
+};
+use flashmark_core::FlashmarkConfig;
+use flashmark_registry::RegistryOptions;
+use flashmark_serve::{PopulationSpec, ServiceConfig, VerificationService};
+
+/// Drives the reduced campaign stream at the given thread count and
+/// returns the full registry file contents plus the rendered campaign
+/// artifact JSON.
+fn run_campaign(threads: usize) -> (String, String) {
+    let opts = ServiceCampaignOptions::tiny(threads);
+    let mut service = build_campaign_service(opts.seed).expect("campaign service");
+    let population = service.population().len() as u64;
+    let handle = service.handle();
+    let mut duplicates = 0u64;
+    let mut done = 0u64;
+    while done < opts.requests {
+        let end = (done + opts.batch).min(opts.requests);
+        for i in done..end {
+            handle
+                .submit(campaign_request(opts.seed, i, population))
+                .expect("submit");
+        }
+        duplicates += service.serve_drained(threads).expect("serve").duplicates;
+        done = end;
+    }
+    let data = summarize(&service, &opts, duplicates);
+    assert_eq!(data.requests, opts.requests);
+    assert_eq!(data.duplicates, 0, "clean stream must not deduplicate");
+    (service.registry().contents(), data.to_json().pretty())
+}
+
+/// Tentpole guarantee: the registry file and `service_campaign` artifact
+/// are byte-identical at `--threads 1` (the exact serial path) and
+/// `--threads 8`.
+#[test]
+fn registry_and_artifact_identical_across_thread_counts() {
+    let (serial_registry, serial_json) = run_campaign(1);
+    let (parallel_registry, parallel_json) = run_campaign(8);
+    assert_eq!(
+        serial_registry, parallel_registry,
+        "registry file differs between --threads 1 and --threads 8"
+    );
+    assert_eq!(
+        serial_json, parallel_json,
+        "service_campaign artifact differs between --threads 1 and --threads 8"
+    );
+
+    // The bytes `Registry::write_to` persists are exactly `contents()`.
+    let dir = std::env::temp_dir().join(format!(
+        "flashmark_service_determinism_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("registry.log");
+    {
+        let mut service = build_campaign_service(0x5E47).expect("campaign service");
+        let population = service.population().len() as u64;
+        let handle = service.handle();
+        for i in 0..64u64 {
+            handle
+                .submit(campaign_request(0x5E47, i, population))
+                .expect("submit");
+        }
+        service.serve_drained(8).expect("serve");
+        let contents = service.registry().contents();
+        let registry = service.into_registry();
+        registry.write_to(&path).expect("write registry");
+        let on_disk = std::fs::read_to_string(&path).expect("read registry");
+        assert_eq!(on_disk, contents);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replaying the same batch is idempotent: the duplicate submissions are
+/// rejected by request id, so the record count, root digest, and stats are
+/// unchanged — no record is ever double-counted.
+#[test]
+fn replaying_a_batch_is_idempotent() {
+    let config = FlashmarkConfig::builder()
+        .n_pe(60_000)
+        .replicas(5)
+        .reads(1)
+        .build()
+        .expect("config");
+    let population = PopulationSpec::tiny(0x1DEA)
+        .build(&config, 0x7C01)
+        .expect("population");
+    let n = population.len() as u64;
+    let mut cfg = ServiceConfig::new(config, 0x7C01, 0x1DEA);
+    cfg.registry = RegistryOptions {
+        seal_every: 64,
+        retain_records: true,
+    };
+    let mut service = VerificationService::new(population, cfg).expect("service");
+    let handle = service.handle();
+
+    let submit_batch = |handle: &flashmark_serve::RequestSender| {
+        for i in 0..200u64 {
+            handle
+                .submit(campaign_request(0x1DEA, i, n))
+                .expect("submit");
+        }
+    };
+
+    submit_batch(&handle);
+    let first = service.serve_drained(4).expect("serve");
+    assert_eq!(first.recorded, 200);
+    assert_eq!(first.duplicates, 0);
+    let root = service.registry().root();
+    let records = service.registry().len();
+    let contents = service.registry().contents();
+
+    // The replay: every request id is already in the log.
+    submit_batch(&handle);
+    let replay = service.serve_drained(4).expect("serve replay");
+    assert_eq!(replay.recorded, 0, "replayed records must not append");
+    assert_eq!(replay.duplicates, 200);
+    assert_eq!(
+        service.registry().root(),
+        root,
+        "root digest changed on replay"
+    );
+    assert_eq!(service.registry().len(), records);
+    assert_eq!(
+        service.registry().contents(),
+        contents,
+        "registry bytes changed on replay"
+    );
+}
