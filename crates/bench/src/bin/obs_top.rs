@@ -1,0 +1,229 @@
+//! Per-shard service-telemetry viewer: renders the Prometheus-style
+//! metrics exposition a service campaign writes
+//! (`results/service_metrics.prom` by default, `service_metrics_smoke.prom`
+//! with `--smoke`, any file with `--file PATH`) as an aligned per-shard
+//! table — queue-depth high watermark, request and probe totals, mean
+//! virtual latency and mean retry-ladder depth per shard — plus the
+//! service-wide batch-occupancy watermark.
+//!
+//! The exposition is deterministic (virtual latency is ops-weighted, not
+//! wall clock), so the rendered table is byte-identical for campaigns run
+//! at any `--threads` count.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flashmark_bench::output::{results_dir, Table};
+
+/// One shard's accumulated series.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardRow {
+    queue_depth: u64,
+    requests: u64,
+    probes: u64,
+    vlat_count: u64,
+    vlat_sum: u64,
+    ladder_count: u64,
+    ladder_sum: u64,
+}
+
+/// Everything the table needs, folded out of an exposition text.
+#[derive(Debug, Clone, Default)]
+struct TopData {
+    shards: BTreeMap<u64, ShardRow>,
+    batch_occupancy: u64,
+}
+
+/// Parses one sample line into `(metric, shard label, value)`; `None` for
+/// comments, blank lines, and anything non-numeric.
+fn parse_sample(line: &str) -> Option<(&str, Option<u64>, u64)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: u64 = value.parse().ok()?;
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => (name, rest.strip_suffix('}')?),
+        None => (series, ""),
+    };
+    let mut shard = None;
+    for pair in labels.split(',').filter(|p| !p.is_empty()) {
+        let (key, v) = pair.split_once('=')?;
+        let v = v.strip_prefix('"')?.strip_suffix('"')?;
+        if key == "shard" {
+            shard = Some(v.parse().ok()?);
+        }
+    }
+    Some((name, shard, value))
+}
+
+/// Folds an exposition text into the per-shard table data.
+fn fold(text: &str) -> TopData {
+    let mut data = TopData::default();
+    for (name, shard, value) in text.lines().filter_map(parse_sample) {
+        if name == "service_batch_occupancy" && shard.is_none() {
+            data.batch_occupancy = data.batch_occupancy.max(value);
+            continue;
+        }
+        let Some(shard) = shard else { continue };
+        let row = data.shards.entry(shard).or_default();
+        match name {
+            "service_queue_depth" => row.queue_depth = row.queue_depth.max(value),
+            "service_requests_total" => row.requests += value,
+            "service_probe_total" => row.probes += value,
+            "service_virtual_latency_ops_count" => row.vlat_count += value,
+            "service_virtual_latency_ops_sum" => row.vlat_sum += value,
+            "service_ladder_depth_count" => row.ladder_count += value,
+            "service_ladder_depth_sum" => row.ladder_sum += value,
+            _ => {}
+        }
+    }
+    data
+}
+
+fn mean(sum: u64, count: u64) -> String {
+    if count == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", sum as f64 / count as f64)
+    }
+}
+
+/// Renders the folded data as the aligned table plus footer lines.
+fn render(data: &TopData) -> String {
+    let mut table = Table::new([
+        "shard",
+        "queue depth",
+        "requests",
+        "probes",
+        "mean vlat (ops)",
+        "mean ladder",
+    ]);
+    let mut requests = 0u64;
+    let mut probes = 0u64;
+    for (shard, row) in &data.shards {
+        requests += row.requests;
+        probes += row.probes;
+        table.row([
+            shard.to_string(),
+            row.queue_depth.to_string(),
+            row.requests.to_string(),
+            row.probes.to_string(),
+            mean(row.vlat_sum, row.vlat_count),
+            mean(row.ladder_sum, row.ladder_count),
+        ]);
+    }
+    format!(
+        "{}\n{} shard(s), {requests} request(s), {probes} probe(s); \
+         batch occupancy high watermark {}\n",
+        table.render(),
+        data.shards.len(),
+        data.batch_occupancy
+    )
+}
+
+fn main() -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--file" {
+            match args.next() {
+                Some(v) => file = Some(PathBuf::from(v)),
+                None => return usage("missing value after --file"),
+            }
+        } else if let Some(v) = arg.strip_prefix("--file=") {
+            file = Some(PathBuf::from(v));
+        } else if arg == "--smoke" {
+            smoke = true;
+        } else {
+            return usage(&format!("unknown argument {arg:?}"));
+        }
+    }
+    let path = file.unwrap_or_else(|| {
+        results_dir().join(if smoke {
+            "service_metrics_smoke.prom"
+        } else {
+            "service_metrics.prom"
+        })
+    });
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "obs_top: cannot read {} ({e}); run the service_campaign bin (or the suite) first",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", path.display());
+    print!("{}", render(&fold(&text)));
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("{error}");
+    eprintln!("usage: obs_top [--file PATH] [--smoke]");
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# TYPE service_batch_occupancy gauge
+service_batch_occupancy 250
+# TYPE service_queue_depth gauge
+service_queue_depth{shard=\"0\"} 17
+service_queue_depth{shard=\"3\"} 11
+# TYPE service_requests_total counter
+service_requests_total{shard=\"0\"} 120
+service_requests_total{shard=\"3\"} 130
+# TYPE service_probe_total counter
+service_probe_total{shard=\"0\"} 30
+# TYPE service_virtual_latency_ops histogram
+service_virtual_latency_ops_bucket{shard=\"0\",le=\"256\"} 119
+service_virtual_latency_ops_bucket{shard=\"0\",le=\"+Inf\"} 120
+service_virtual_latency_ops_sum{shard=\"0\"} 24000
+service_virtual_latency_ops_count{shard=\"0\"} 120
+";
+
+    #[test]
+    fn samples_parse_with_and_without_labels() {
+        assert_eq!(
+            parse_sample("service_batch_occupancy 250"),
+            Some(("service_batch_occupancy", None, 250))
+        );
+        assert_eq!(
+            parse_sample("service_queue_depth{shard=\"3\"} 11"),
+            Some(("service_queue_depth", Some(3), 11))
+        );
+        // le labels are carried but ignored; comments and blanks skip.
+        assert_eq!(
+            parse_sample("x_bucket{shard=\"1\",le=\"+Inf\"} 9"),
+            Some(("x_bucket", Some(1), 9))
+        );
+        assert_eq!(parse_sample("# TYPE x gauge"), None);
+        assert_eq!(parse_sample(""), None);
+    }
+
+    #[test]
+    fn fold_and_render_summarize_per_shard() {
+        let data = fold(SAMPLE);
+        assert_eq!(data.batch_occupancy, 250);
+        assert_eq!(data.shards.len(), 2);
+        assert_eq!(data.shards[&0].requests, 120);
+        assert_eq!(data.shards[&0].vlat_sum, 24000);
+        let text = render(&data);
+        assert!(
+            text.contains("2 shard(s), 250 request(s), 30 probe(s)"),
+            "{text}"
+        );
+        assert!(text.contains("200.0"), "mean vlat missing: {text}");
+        assert!(text.contains('-'), "empty ladder mean should dash: {text}");
+    }
+}

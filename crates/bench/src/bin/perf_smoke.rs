@@ -12,6 +12,7 @@ use std::process::ExitCode;
 
 use flashmark_bench::microbench::{kernel_suite, RuntimeReport};
 use flashmark_bench::output::results_dir;
+use flashmark_bench::trend::{append_and_report, perf_record};
 
 /// Allowed slowdown vs the committed baseline before the gate fails.
 const BUDGET_FACTOR: f64 = 2.0;
@@ -26,6 +27,22 @@ fn main() -> ExitCode {
     let current = kernel_suite();
     for e in &current.entries {
         println!("{:<28} {:>12.3} µs/iter", e.name, e.wall_s * 1e6);
+    }
+
+    // Append this run's kernel throughputs to the cross-run trend log
+    // (perf drift there is advisory; the hard gate below stays the 2×
+    // baseline comparison). A corrupt log fails loudly rather than being
+    // silently skipped or overwritten.
+    match append_and_report(&results_dir(), perf_record(&current)) {
+        Ok(report) => println!(
+            "trend: {} run(s) on record ({} perf warning(s))",
+            report.records,
+            report.warnings.len()
+        ),
+        Err(e) => {
+            eprintln!("failed to append to the trend log: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let baseline_path = results_dir().join("BENCH_runtime.json");

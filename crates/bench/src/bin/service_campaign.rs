@@ -5,9 +5,16 @@
 //! the registry summary:
 //!
 //! * `results/service_campaign.json` (or `service_campaign_smoke.json`
-//!   with `--smoke`) — verdict mix per provenance class, retry-ladder and
-//!   transient-retry histograms per 10⁶ requests, registry root digest.
-//!   Byte-identical at any `--threads` count.
+//!   with `--smoke`) — verdict mix per provenance class, retry-ladder,
+//!   transient-retry and virtual-latency histograms, reason breakdown,
+//!   telemetry gauges/counters, registry root digest. Byte-identical at
+//!   any `--threads` count.
+//! * `results/service_metrics.prom` (or `service_metrics_smoke.prom`) —
+//!   the telemetry snapshot in Prometheus text exposition format (the
+//!   `obs_top` bin renders it as a per-shard table).
+//! * `results/trend_log.jsonl` + `results/trend_report.json` — the run is
+//!   appended to the cross-run trend log and the drift report recomputed
+//!   (the `trend_check` bin gates on it).
 //! * `results/service_timings.json` — wall clock and throughput,
 //!   quarantined so the campaign artifact stays deterministic.
 //!
@@ -19,10 +26,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use flashmark_bench::output::{write_json, Table};
+use flashmark_bench::output::{results_dir, write_json, Table};
 use flashmark_bench::service_campaign::{
     run_service_campaign, ServiceCampaignOptions, ServiceTimings,
 };
+use flashmark_bench::trend::{append_and_report, service_record};
 use flashmark_par::threads_from_env_args;
 
 fn parse_requests() -> Result<Option<u64>, String> {
@@ -67,7 +75,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let t0 = Instant::now();
     let mut last_pct = 0u64;
-    let data = run_service_campaign(&opts, |done| {
+    let run = run_service_campaign(&opts, |done| {
         let pct = done * 100 / opts.requests.max(1);
         if pct >= last_pct + 10 || done == opts.requests {
             eprintln!("  {done}/{} ({pct}%)", opts.requests);
@@ -75,6 +83,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     })?;
     let wall_s = t0.elapsed().as_secs_f64();
+    let data = run.data;
 
     let mut table = Table::new(["class", "verdict", "count", "per 1M"]);
     for row in &data.verdict_mix {
@@ -93,6 +102,25 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let path = write_json(artifact, &data)?;
     println!("wrote {}", path.display());
+
+    let dir = results_dir();
+    let prom = dir.join(if smoke {
+        "service_metrics_smoke.prom"
+    } else {
+        "service_metrics.prom"
+    });
+    std::fs::write(&prom, &run.exposition)?;
+    println!("wrote {}", prom.display());
+
+    let report = append_and_report(&dir, service_record(&data))?;
+    println!(
+        "trend: {} run(s) on record; drift gates {} ({} failure(s), {} warning(s))",
+        report.records,
+        if report.passed() { "passed" } else { "FAILED" },
+        report.failures.len(),
+        report.warnings.len()
+    );
+
     let timings = ServiceTimings {
         threads,
         requests: data.requests,

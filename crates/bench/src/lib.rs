@@ -34,3 +34,4 @@ pub mod output;
 pub mod paper;
 pub mod service_campaign;
 pub mod suite;
+pub mod trend;

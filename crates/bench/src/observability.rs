@@ -202,6 +202,19 @@ pub fn obs_campaign(runner: &TrialRunner, profile: Profile) -> Result<ObsCampaig
 /// trial never evicts.
 const DUMP_CAPACITY: usize = 1 << 16;
 
+/// The loud header warning [`dump_trial`] prints when the trial's event
+/// ring overflowed: the timeline then starts mid-trial, with the first
+/// `dropped` events evicted. `None` when nothing was lost.
+#[must_use]
+pub fn truncation_note(dropped: u64) -> Option<String> {
+    (dropped > 0).then(|| {
+        format!(
+            "WARNING: event ring overflowed; the first {dropped} event(s) \
+             were evicted and the timeline below starts mid-trial"
+        )
+    })
+}
+
 /// Replays one trial of the seed-`seed` campaign serially and renders its
 /// event timeline, one `op_index  description` line per retained event.
 ///
@@ -268,6 +281,9 @@ pub fn dump_trial(
         collector.events().count(),
         collector.dropped()
     );
+    if let Some(note) = truncation_note(collector.dropped()) {
+        let _ = writeln!(out, "{note}\n");
+    }
     let _ = writeln!(out, "{:>6}  event", "op");
     for (op, event) in collector.events() {
         let _ = writeln!(out, "{op:>6}  {}", event.describe());
@@ -315,6 +331,14 @@ mod tests {
             .collect();
         assert!(ops.len() > 10, "timeline too short: {text}");
         assert!(ops.windows(2).all(|w| w[0] < w[1]), "ops not in order");
+    }
+
+    #[test]
+    fn truncation_note_fires_only_on_drops() {
+        assert_eq!(truncation_note(0), None);
+        let note = truncation_note(37).unwrap();
+        assert!(note.contains("WARNING"), "{note}");
+        assert!(note.contains("37"), "{note}");
     }
 
     #[test]

@@ -160,6 +160,50 @@ impl_to_json!(HistogramRow {
     per_million
 });
 
+/// One cell of the inconclusive/reject reason breakdown.
+#[derive(Debug, Clone)]
+pub struct ReasonRow {
+    /// Verdict reason stamped into the registry record, e.g.
+    /// `recycled_wear` or `transient_faults`.
+    pub reason: String,
+    /// Records carrying the reason.
+    pub count: u64,
+    /// Cell rate normalized per 10⁶ requests.
+    pub per_million: f64,
+}
+impl_to_json!(ReasonRow {
+    reason,
+    count,
+    per_million
+});
+
+/// One gauge or counter sample of the service telemetry snapshot.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Metric name, e.g. `service_queue_depth`.
+    pub metric: &'static str,
+    /// Shard index, or `None` for service-wide (GLOBAL) series.
+    pub shard: Option<u64>,
+    /// Gauge high watermark or counter total.
+    pub value: u64,
+}
+impl_to_json!(TelemetryRow {
+    metric,
+    shard,
+    value
+});
+
+/// One bucket of the campaign-wide virtual-latency histogram
+/// (per-shard series summed; bucket bounds are powers of two).
+#[derive(Debug, Clone)]
+pub struct VlatBucketRow {
+    /// Inclusive bucket upper bound, in flash-op cost units.
+    pub le: u64,
+    /// Requests whose virtual latency landed in the bucket.
+    pub count: u64,
+}
+impl_to_json!(VlatBucketRow { le, count });
+
 /// One enrolled-population cell.
 #[derive(Debug, Clone)]
 pub struct PopulationRow {
@@ -203,6 +247,14 @@ pub struct ServiceCampaignData {
     pub ladder_histogram: Vec<HistogramRow>,
     /// Transient-retry histogram (retries spent per request).
     pub retry_histogram: Vec<HistogramRow>,
+    /// Per-reason breakdown of every non-accept verdict.
+    pub reason_breakdown: Vec<ReasonRow>,
+    /// Telemetry gauges (queue-depth / batch-occupancy high watermarks).
+    pub telemetry_gauges: Vec<TelemetryRow>,
+    /// Telemetry counters (requests and probes per shard).
+    pub telemetry_counters: Vec<TelemetryRow>,
+    /// Campaign-wide virtual-latency distribution, shards summed.
+    pub virtual_latency_histogram: Vec<VlatBucketRow>,
 }
 impl_to_json!(ServiceCampaignData {
     seed,
@@ -218,7 +270,11 @@ impl_to_json!(ServiceCampaignData {
     duplicates,
     verdict_mix,
     ladder_histogram,
-    retry_histogram
+    retry_histogram,
+    reason_breakdown,
+    telemetry_gauges,
+    telemetry_counters,
+    virtual_latency_histogram
 });
 
 /// The quarantined wall-clock artifact (`service_timings.json`) — the one
@@ -242,10 +298,22 @@ impl_to_json!(ServiceTimings {
     requests_per_s
 });
 
+/// A completed campaign: the deterministic JSON artifact plus the
+/// Prometheus-style text exposition of the service telemetry snapshot
+/// (written beside the JSON as `service_metrics*.prom`). Both are
+/// byte-identical at any `--threads` count.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The JSON artifact struct.
+    pub data: ServiceCampaignData,
+    /// The telemetry snapshot in Prometheus text exposition format.
+    pub exposition: String,
+}
+
 /// Runs the campaign: builds the service, streams `opts.requests` requests
 /// through the channel front end in `opts.batch`-sized batches, and
-/// summarizes the registry. `progress` is called with the running request
-/// total after each batch.
+/// summarizes the registry and telemetry snapshot. `progress` is called
+/// with the running request total after each batch.
 ///
 /// # Errors
 ///
@@ -253,7 +321,7 @@ impl_to_json!(ServiceTimings {
 pub fn run_service_campaign(
     opts: &ServiceCampaignOptions,
     mut progress: impl FnMut(u64),
-) -> Result<ServiceCampaignData, CoreError> {
+) -> Result<CampaignRun, CoreError> {
     let mut service = build_campaign_service(opts.seed)?;
     let population = service.population().len() as u64;
     let handle = service.handle();
@@ -271,10 +339,14 @@ pub fn run_service_campaign(
         progress(done);
     }
 
-    Ok(summarize(&service, opts, duplicates))
+    Ok(CampaignRun {
+        exposition: service.telemetry().expose(),
+        data: summarize(&service, opts, duplicates),
+    })
 }
 
-/// Summarizes a campaign service's registry into the artifact struct.
+/// Summarizes a campaign service's registry and telemetry snapshot into
+/// the artifact struct.
 #[must_use]
 pub fn summarize(
     service: &VerificationService,
@@ -283,6 +355,14 @@ pub fn summarize(
 ) -> ServiceCampaignData {
     let registry = service.registry();
     let stats = registry.stats();
+    let telemetry = service.telemetry();
+    let shard_of = |shard: u64| (shard != flashmark_obs::GLOBAL).then_some(shard);
+    let mut vlat: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for (name, _, bucket, count) in telemetry.histogram_buckets() {
+        if name == "service_virtual_latency_ops" {
+            *vlat.entry(bucket).or_insert(0) += count;
+        }
+    }
     let requests = stats.requests();
     let per_million = |count: u64| count as f64 * 1_000_000.0 / (requests.max(1) as f64);
     ServiceCampaignData {
@@ -326,6 +406,34 @@ pub fn summarize(
                 count,
                 per_million: per_million(count),
             })
+            .collect(),
+        reason_breakdown: stats
+            .reason_breakdown()
+            .map(|(reason, count)| ReasonRow {
+                reason: reason.to_string(),
+                count,
+                per_million: per_million(count),
+            })
+            .collect(),
+        telemetry_gauges: telemetry
+            .gauges()
+            .map(|(metric, shard, value)| TelemetryRow {
+                metric,
+                shard: shard_of(shard),
+                value,
+            })
+            .collect(),
+        telemetry_counters: telemetry
+            .counters()
+            .map(|(metric, shard, value)| TelemetryRow {
+                metric,
+                shard: shard_of(shard),
+                value,
+            })
+            .collect(),
+        virtual_latency_histogram: vlat
+            .into_iter()
+            .map(|(le, count)| VlatBucketRow { le, count })
             .collect(),
     }
 }

@@ -35,6 +35,7 @@ use crate::microbench::kernel_suite;
 use crate::observability::{obs_campaign, obs_campaign_trials};
 use crate::output::write_json_in;
 use crate::paper;
+use crate::trend::{append_and_report, suite_record};
 
 /// How much work the suite does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -667,6 +668,13 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         Ok(())
     });
 
+    // Trend-record ingredients the later steps capture: the fault
+    // campaign's flip count, the obs campaign's op count, and the service
+    // campaign's deterministic summary.
+    let mut fault_flips: Option<u64> = None;
+    let mut obs_ops: Option<u64> = None;
+    let mut service_data: Option<crate::service_campaign::ServiceCampaignData> = None;
+
     // Differential fault-injection campaign (seed 42 matches the
     // `fault_campaign` bin default, so the committed artifact and the
     // suite's agree).
@@ -677,6 +685,7 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         fault_campaign_trials(opts.profile),
         |md| {
             let fc = fault_campaign(&runner(42), opts.profile)?;
+            fault_flips = Some(fc.reject_to_accept_total as u64);
             write_json_in(dir, "fault_campaign", &fc)?;
             row(
                 md,
@@ -712,6 +721,7 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
             let t0 = Instant::now();
             let data = obs_campaign(&runner(42), opts.profile)?;
             let wall_s = t0.elapsed().as_secs_f64();
+            obs_ops = Some(data.total_ops);
             write_json_in(dir, "obs_report", &data)?;
             let timings = ObsTimings {
                 wall_s,
@@ -779,9 +789,11 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         svc_opts.requests as usize,
         |md| {
             let t0 = Instant::now();
-            let data = crate::service_campaign::run_service_campaign(&svc_opts, |_| {})?;
+            let run = crate::service_campaign::run_service_campaign(&svc_opts, |_| {})?;
             let wall_s = t0.elapsed().as_secs_f64();
+            let data = run.data;
             write_json_in(dir, "service_campaign_smoke", &data)?;
+            fs::write(dir.join("service_metrics_smoke.prom"), &run.exposition)?;
             let timings = crate::service_campaign::ServiceTimings {
                 threads: opts.threads,
                 requests: data.requests,
@@ -815,6 +827,7 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
             if data.duplicates != 0 {
                 return Err("service campaign saw duplicate request ids".into());
             }
+            service_data = Some(data);
             Ok(())
         },
     );
@@ -863,6 +876,24 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
     // The committed parameter record (deterministic: written on every
     // profile so the artifact can never go stale against the code).
     write_json_in(dir, "physics_params", &params_report())?;
+
+    // Append this run to the cross-run trend log and regenerate the drift
+    // report. Deterministic inputs only (verdict mix, flips, op counts),
+    // so the appended line — and the report — are byte-identical at any
+    // thread count. Skipped when the service step failed: a partial
+    // record would start a non-comparable trend group.
+    if let Some(svc) = &service_data {
+        let report = append_and_report(dir, suite_record(svc, fault_flips, obs_ops))?;
+        let _ = writeln!(
+            md,
+            "\n## Trend\n\n{} run(s) on record; drift gates {} \
+             ({} failure(s), {} warning(s)).",
+            report.records,
+            if report.passed() { "passed" } else { "FAILED" },
+            report.failures.len(),
+            report.warnings.len()
+        );
+    }
 
     // The runtime baseline: kernel micro-benchmarks plus per-experiment
     // wall times. Smoke runs skip it so reduced-profile artifacts never

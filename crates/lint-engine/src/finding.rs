@@ -33,6 +33,8 @@ pub enum Rule {
     SeedDataflow,
     /// No `HashMap`/`HashSet` where iteration order can reach artifacts.
     MapOrder,
+    /// No wall-clock reads outside the quarantined timing modules.
+    WallClock,
     /// No ad-hoc float accumulation in cross-trial merge code.
     MergeCommutativity,
     /// `unsafe` / unchecked-access inventory and `forbid(unsafe_code)`.
@@ -57,6 +59,7 @@ impl Rule {
             Self::PrintDiscipline => "print-discipline",
             Self::SeedDataflow => "seed-dataflow",
             Self::MapOrder => "map-order",
+            Self::WallClock => "wall-clock",
             Self::MergeCommutativity => "merge-commutativity",
             Self::UnsafeAudit => "unsafe-audit",
             Self::PubLiveness => "pub-liveness",
@@ -72,7 +75,7 @@ impl Rule {
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [Rule; 12] = [
+pub const ALL_RULES: [Rule; 13] = [
     Rule::PanicFree,
     Rule::FloatEq,
     Rule::Nondeterminism,
@@ -81,6 +84,7 @@ pub const ALL_RULES: [Rule; 12] = [
     Rule::PrintDiscipline,
     Rule::SeedDataflow,
     Rule::MapOrder,
+    Rule::WallClock,
     Rule::MergeCommutativity,
     Rule::UnsafeAudit,
     Rule::PubLiveness,

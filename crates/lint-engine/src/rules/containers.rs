@@ -8,6 +8,11 @@
 //! the same API with deterministic order (as `crates/obs` already
 //! demonstrates), and genuinely order-free hot paths can carry a
 //! justified suppression.
+//!
+//! [`wall_clock`] is the same family applied to time: `Instant` /
+//! `SystemTime` reads are banned outside the two quarantined timing
+//! modules, so wall-clock data can only ever reach the `*_timings.json`
+//! quarantine artifacts, never the deterministic ones.
 
 use crate::finding::{Finding, Rule};
 use crate::lexer::{Token, TokenKind};
@@ -37,6 +42,43 @@ pub fn map_order(file: &str, tokens: &[Token], structure: &Structure, findings: 
     }
 }
 
+/// Wall-clock sources whose mere mention in quarantine-free code means a
+/// timing read is (or is about to be) feeding a deterministic path.
+const WALL_CLOCK_SOURCES: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Flags every wall-clock read (`Instant`, `SystemTime`) in live code.
+///
+/// Same structural shape as [`map_order`]: the telemetry/trend layer's
+/// byte-identical guarantee dies the moment a wall-clock value reaches a
+/// snapshot, trend record, or exposition line, so outside the two
+/// quarantined timing modules (`crates/bench/src/suite.rs`,
+/// `crates/bench/src/microbench.rs` — which may *only* write the
+/// `*_timings.json` quarantine artifacts) the types are banned outright.
+pub fn wall_clock(
+    file: &str,
+    tokens: &[Token],
+    structure: &Structure,
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !t.is_code() || !structure.is_live_code(i) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident && WALL_CLOCK_SOURCES.contains(&t.text.as_str()) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::WallClock,
+                message: format!(
+                    "`{}` outside a quarantined timing module: wall-clock reads poison byte-identical artifacts — measure in suite.rs/microbench.rs and route the value into a `*_timings.json` quarantine file",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +90,34 @@ mod tests {
         let mut findings = Vec::new();
         map_order("x.rs", &tokens, &structure, &mut findings);
         findings
+    }
+
+    fn run_clock(src: &str) -> Vec<Finding> {
+        let tokens = lex(src);
+        let structure = Structure::analyze(&tokens);
+        let mut findings = Vec::new();
+        wall_clock("x.rs", &tokens, &structure, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged() {
+        let f = run_clock(
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }",
+        );
+        assert_eq!(f.len(), 3, "import, now() read, SystemTime read");
+        assert!(f[0].message.contains("quarantine"));
+    }
+
+    #[test]
+    fn virtual_time_is_clean() {
+        assert!(run_clock("fn f(cost: u64) -> u64 { cost * 8 }").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_tests_and_strings_is_exempt() {
+        assert!(run_clock("#[cfg(test)]\nmod t { use std::time::Instant; }").is_empty());
+        assert!(run_clock("fn f() { let s = \"Instant::now\"; }").is_empty());
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub struct RuleSet {
     pub seed_dataflow: bool,
     /// No hash-ordered containers.
     pub map_order: bool,
+    /// No wall-clock reads outside the quarantined timing modules.
+    pub wall_clock: bool,
     /// No ad-hoc float accumulation in merge code.
     pub merge_commutativity: bool,
     /// `unsafe` / unchecked inventory + `forbid(unsafe_code)` presence.
@@ -74,6 +76,9 @@ pub fn run_file(scope: &FileScope, tokens: &[Token], structure: &Structure) -> V
     }
     if r.map_order {
         containers::map_order(path, tokens, structure, &mut findings);
+    }
+    if r.wall_clock {
+        containers::wall_clock(path, tokens, structure, &mut findings);
     }
     if r.merge_commutativity {
         dataflow::merge_commutativity(path, tokens, structure, &mut findings);

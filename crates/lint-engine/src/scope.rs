@@ -39,6 +39,15 @@ fn is_tooling(crate_name: &str) -> bool {
 /// The one sanctioned entropy-source module.
 const SANCTIONED_RNG: &str = "crates/physics/src/rng.rs";
 
+/// The quarantined timing modules: the only library sources allowed to
+/// read the wall clock, because everything they measure lands in the
+/// `obs_timings.json` / `service_timings.json` quarantine artifacts that
+/// the determinism tests exempt by name.
+const WALL_CLOCK_QUARANTINE: [&str; 2] = [
+    "crates/bench/src/suite.rs",
+    "crates/bench/src/microbench.rs",
+];
+
 impl FileScope {
     /// Classifies a workspace-relative path; `None` for files the engine
     /// skips entirely (tests, benches, examples, non-Rust files).
@@ -83,6 +92,13 @@ impl FileScope {
             // Deterministic map order is global: even the tooling's own
             // report must be byte-stable.
             map_order: true,
+            // Wall-clock reads are quarantined harder than general
+            // nondeterminism: even the bench *library* (where the broad
+            // rule is off so it can time kernels) may only touch the
+            // clock inside the two timing modules whose output lands in
+            // the `*_timings.json` quarantine artifacts. Drivers own
+            // their wall clock; the tooling spells the type names.
+            wall_clock: !is_bin && !tooling && !WALL_CLOCK_QUARANTINE.contains(&path.as_str()),
             merge_commutativity: !is_bin && !tooling,
             unsafe_audit: true,
             // Wrapping-arithmetic inventory only where silent wraparound
@@ -371,6 +387,7 @@ mod tests {
         assert!(bin.is_bin);
         assert!(!bin.rules.print_discipline, "bins own their stdout");
         assert!(!bin.rules.nondeterminism, "bins time real executions");
+        assert!(!bin.rules.wall_clock, "bins own their wall clock");
         assert!(!bin.rules.panic_free);
         assert!(bin.rules.missing_docs);
         assert!(bin.rules.thread_discipline);
@@ -394,6 +411,34 @@ mod tests {
             "the bench library reports through its output layer; only bins own stdout"
         );
         assert!(!lib.rules.nondeterminism, "the bench library times kernels");
+    }
+
+    #[test]
+    fn wall_clock_quarantine_scope() {
+        for quarantined in WALL_CLOCK_QUARANTINE {
+            let scope = FileScope::classify(quarantined).unwrap();
+            assert!(
+                !scope.rules.wall_clock,
+                "{quarantined} is a quarantined timing module"
+            );
+        }
+        for banned in [
+            "crates/bench/src/service_campaign.rs",
+            "crates/serve/src/service.rs",
+            "crates/obs/src/metrics.rs",
+            "src/lib.rs",
+        ] {
+            let scope = FileScope::classify(banned).unwrap();
+            assert!(
+                scope.rules.wall_clock,
+                "{banned} must not read the wall clock"
+            );
+        }
+        let tooling = FileScope::classify("crates/lint-engine/src/rules/containers.rs").unwrap();
+        assert!(
+            !tooling.rules.wall_clock,
+            "the engine spells the banned type names as data"
+        );
     }
 
     #[test]

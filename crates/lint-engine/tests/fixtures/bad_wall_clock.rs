@@ -1,0 +1,23 @@
+//! Fixture: wall-clock violations — `Instant` / `SystemTime` reads in a
+//! library source that is not one of the quarantined timing modules.
+
+use std::time::Instant;
+
+/// Times a batch with the wall clock and bakes the reading into the
+/// returned figure — exactly the poison the rule exists to catch.
+pub fn timed_batch(n: u64) -> u64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(i);
+    }
+    acc ^ start.elapsed().as_nanos() as u64
+}
+
+/// Stamps a record with the OS clock.
+pub fn stamp() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -37,6 +37,7 @@ fn raw_strings_and_comments_never_fire() {
         Rule::PanicFree,
         Rule::PrintDiscipline,
         Rule::MapOrder,
+        Rule::WallClock,
         Rule::Nondeterminism,
         Rule::ThreadDiscipline,
         Rule::UnsafeAudit,
@@ -113,6 +114,41 @@ fn hash_containers_are_flagged_everywhere() {
         of(&r, Rule::MapOrder),
         5,
         "two imports, two signatures, one constructor"
+    );
+}
+
+#[test]
+fn wall_clock_reads_are_flagged_outside_quarantine() {
+    // The bench *library* is where the rule earns its keep: the broad
+    // nondeterminism family is off there (the bench layer times kernels),
+    // so only wall-clock catches a clock read leaking into artifact code.
+    let r = analyze_at(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/bad_wall_clock.rs"),
+    );
+    assert_eq!(
+        of(&r, Rule::WallClock),
+        3,
+        "import, Instant::now read, SystemTime read"
+    );
+    assert_eq!(
+        of(&r, Rule::Nondeterminism),
+        0,
+        "the bench library is exempt from the broad family — wall-clock is the only gate"
+    );
+}
+
+#[test]
+fn quarantined_timing_modules_may_read_the_clock() {
+    let r = analyze_at(
+        "crates/bench/src/microbench.rs",
+        include_str!("fixtures/bad_wall_clock.rs"),
+    );
+    assert_eq!(
+        of(&r, Rule::WallClock),
+        0,
+        "the quarantined timing module owns the wall clock: {:?}",
+        r.findings
     );
 }
 

@@ -132,23 +132,26 @@ where
     T: Send,
     F: Fn(Trial) -> T + Sync,
 {
-    let pairs = runner.run(n, |trial| {
-        let prev = runtime::install(Collector::with_capacity(trial.index as u64, capacity));
-        let out = f(trial);
-        // A trial body that stole the collector contributes an empty one.
-        let collector =
-            runtime::take().unwrap_or_else(|| Collector::with_capacity(trial.index as u64, 0));
-        if let Some(p) = prev {
-            runtime::install(p);
-        }
-        (out, collector)
-    });
-    let mut outputs = Vec::with_capacity(pairs.len());
-    let mut collectors = Vec::with_capacity(pairs.len());
-    for (out, c) in pairs {
-        outputs.push(out);
-        collectors.push(c);
-    }
+    let mut outputs = Vec::with_capacity(n);
+    let mut collectors = Vec::with_capacity(n);
+    runner.run_observed(
+        n,
+        |trial| {
+            let prev = runtime::install(Collector::with_capacity(trial.index as u64, capacity));
+            let out = f(trial);
+            // A trial body that stole the collector contributes an empty one.
+            let collector =
+                runtime::take().unwrap_or_else(|| Collector::with_capacity(trial.index as u64, 0));
+            if let Some(p) = prev {
+                runtime::install(p);
+            }
+            (out, collector)
+        },
+        |_, (out, collector)| {
+            outputs.push(out);
+            collectors.push(collector);
+        },
+    );
     InstrumentedRun {
         outputs,
         collectors,

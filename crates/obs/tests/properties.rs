@@ -1,10 +1,12 @@
-//! Property test of the aggregation law the observability layer rests on:
-//! merging per-trial [`Metrics`] is order-independent, so the merged
-//! report cannot depend on which worker thread finished first.
+//! Property tests of the aggregation laws the observability layer rests
+//! on: merging per-trial [`Metrics`] is order-independent, so the merged
+//! report cannot depend on which worker thread finished first — and the
+//! same holds for the service-telemetry [`Snapshot`], whose gauges merge
+//! by maximum rather than addition.
 
 use proptest::prelude::*;
 
-use flashmark_obs::Metrics;
+use flashmark_obs::{Metrics, Snapshot, GLOBAL};
 
 const GROUPS: [&str; 4] = ["flash", "retry", "verdict", "fault"];
 const NAMES: [&str; 4] = ["read_word", "erase_segment", "genuine", "read_flips"];
@@ -35,6 +37,38 @@ fn metrics_from_ops(ops: &[u64]) -> Metrics {
 /// folded metrics.
 fn trials(ops: &[u64], chunk: usize) -> Vec<Metrics> {
     ops.chunks(chunk.max(1)).map(metrics_from_ops).collect()
+}
+
+const SNAPSHOT_NAMES: [&str; 3] = [
+    "service_queue_depth",
+    "service_requests_total",
+    "service_virtual_latency_ops",
+];
+
+/// Builds one shard's telemetry snapshot from an encoded operation list:
+/// each `u64` decodes to a gauge raise, a counter add, or a histogram
+/// observation over a small name × shard space (including [`GLOBAL`]).
+fn snapshot_from_ops(ops: &[u64]) -> Snapshot {
+    let mut s = Snapshot::new();
+    for &op in ops {
+        let name = SNAPSHOT_NAMES[(op >> 2) as usize % SNAPSHOT_NAMES.len()];
+        let shard = match (op >> 4) % 4 {
+            3 => GLOBAL,
+            shard => shard,
+        };
+        let value = op >> 6 & 0xFFF;
+        match op % 3 {
+            0 => s.gauge_max(name, shard, value),
+            1 => s.add(name, shard, value),
+            _ => s.observe(name, shard, value),
+        }
+    }
+    s
+}
+
+/// Splits the flat op list into per-shard snapshots.
+fn shards(ops: &[u64], chunk: usize) -> Vec<Snapshot> {
+    ops.chunks(chunk.max(1)).map(snapshot_from_ops).collect()
 }
 
 proptest! {
@@ -105,5 +139,65 @@ proptest! {
         right.absorb(&Metrics::new());
         prop_assert_eq!(&left, &m);
         prop_assert_eq!(&right, &m);
+    }
+
+    /// Telemetry snapshots merge commutatively and associatively —
+    /// forward, reverse, and tree merges of the same per-shard snapshots
+    /// agree, and so do their text expositions. This is what makes the
+    /// service's exposed telemetry independent of `--threads`.
+    #[test]
+    fn snapshot_merge_is_order_independent(
+        ops in collection::vec(any::<u64>(), 0..200),
+        chunk in 1usize..17,
+    ) {
+        let per_shard = shards(&ops, chunk);
+
+        let mut forward = Snapshot::new();
+        for s in &per_shard {
+            forward.merge(s);
+        }
+
+        let mut reverse = Snapshot::new();
+        for s in per_shard.iter().rev() {
+            reverse.merge(s);
+        }
+
+        let mut tree = Snapshot::new();
+        for pair in per_shard.chunks(2) {
+            let mut partial = Snapshot::new();
+            for s in pair {
+                partial.merge(s);
+            }
+            tree.merge(&partial);
+        }
+
+        prop_assert_eq!(&forward, &reverse);
+        prop_assert_eq!(&forward, &tree);
+        prop_assert_eq!(forward.expose(), reverse.expose());
+    }
+
+    /// Merging an empty snapshot is a no-op, and merging a snapshot into
+    /// itself leaves gauges unchanged (max is idempotent) while doubling
+    /// counters and histogram counts.
+    #[test]
+    fn snapshot_empty_identity_and_gauge_idempotence(
+        ops in collection::vec(any::<u64>(), 0..100),
+    ) {
+        let s = snapshot_from_ops(&ops);
+        let mut left = Snapshot::new();
+        left.merge(&s);
+        let mut right = s.clone();
+        right.merge(&Snapshot::new());
+        prop_assert_eq!(&left, &s);
+        prop_assert_eq!(&right, &s);
+
+        let mut doubled = s.clone();
+        doubled.merge(&s);
+        for (name, shard, value) in s.gauges() {
+            prop_assert_eq!(doubled.gauge(name, shard), value);
+        }
+        for (name, shard, value) in s.counters() {
+            prop_assert_eq!(doubled.counter(name, shard), 2 * value);
+        }
     }
 }

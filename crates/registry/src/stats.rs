@@ -21,6 +21,9 @@ pub struct ServiceStats {
     ladder: BTreeMap<u32, u64>,
     /// Transient-retry count → record count.
     retries: BTreeMap<u32, u64>,
+    /// Non-empty verdict reason → record count (inconclusive and reject
+    /// reasons; accepts carry an empty reason and are not counted here).
+    reasons: BTreeMap<String, u64>,
     /// Records folded in.
     requests: u64,
 }
@@ -40,6 +43,9 @@ impl ServiceStats {
             .or_insert(0) += 1;
         *self.ladder.entry(r.ladder_depth).or_insert(0) += 1;
         *self.retries.entry(r.retries).or_insert(0) += 1;
+        if !r.reason.is_empty() {
+            *self.reasons.entry(r.reason.clone()).or_insert(0) += 1;
+        }
         self.requests += 1;
     }
 
@@ -54,6 +60,9 @@ impl ServiceStats {
         }
         for (&n, v) in &other.retries {
             *self.retries.entry(n).or_insert(0) += v;
+        }
+        for (reason, v) in &other.reasons {
+            *self.reasons.entry(reason.clone()).or_insert(0) += v;
         }
         self.requests += other.requests;
     }
@@ -88,6 +97,13 @@ impl ServiceStats {
     /// All `(retries, count)` bins in sorted order.
     pub fn retry_histogram(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.retries.iter().map(|(&r, &n)| (r, n))
+    }
+
+    /// All `(reason, count)` cells in sorted order — the per-reason
+    /// breakdown of every non-accept verdict (inconclusive causes like
+    /// `transient_faults`, reject causes like `recycled_wear`).
+    pub fn reason_breakdown(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.reasons.iter().map(|(r, &n)| (r.as_str(), n))
     }
 
     /// True when nothing has been folded in.
@@ -133,6 +149,36 @@ mod tests {
         assert_eq!(
             s.retry_histogram().collect::<Vec<_>>(),
             vec![(0, 2), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn reason_breakdown_counts_nonempty_reasons() {
+        let mut s = ServiceStats::new();
+        s.record(&rec("genuine", RecordVerdict::Accept, 1, 0)); // empty reason
+        let mut worn = rec("recycled", RecordVerdict::Reject, 1, 0);
+        worn.reason = "recycled_wear".into();
+        s.record(&worn);
+        s.record(&worn);
+        let mut flaky = rec("genuine", RecordVerdict::Inconclusive, 3, 2);
+        flaky.reason = "transient_faults".into();
+        s.record(&flaky);
+        assert_eq!(
+            s.reason_breakdown().collect::<Vec<_>>(),
+            vec![("recycled_wear", 2), ("transient_faults", 1)]
+        );
+
+        // The reason map absorbs pointwise like every other cell.
+        let mut other = ServiceStats::new();
+        other.record(&worn);
+        let mut ab = s.clone();
+        ab.absorb(&other);
+        let mut ba = other.clone();
+        ba.absorb(&s);
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab.reason_breakdown().collect::<Vec<_>>(),
+            vec![("recycled_wear", 3), ("transient_faults", 1)]
         );
     }
 

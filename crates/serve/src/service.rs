@@ -23,7 +23,7 @@ use flashmark_core::{
     CounterfeitReason, FlashmarkConfig, InconclusiveReason, SegmentCondition, StressDetector,
     Verdict, Verifier,
 };
-use flashmark_obs::{install, take, Collector, Metrics};
+use flashmark_obs::{install, take, virtual_latency_of, Collector, Metrics, Snapshot, GLOBAL};
 use flashmark_par::TrialRunner;
 use flashmark_physics::rng::mix2;
 use flashmark_physics::Micros;
@@ -123,6 +123,10 @@ pub struct BatchReport {
 /// One draft record plus its global arrival index, produced inside a shard.
 type Draft = (usize, Record);
 
+/// Everything one shard hands back from a drain: its drafts, its stats
+/// aggregate, and its telemetry snapshot.
+type ShardYield = Result<(Vec<Draft>, ServiceStats, Snapshot), CoreError>;
+
 /// The verification service.
 #[derive(Debug)]
 pub struct VerificationService {
@@ -132,6 +136,7 @@ pub struct VerificationService {
     cfg: ServiceConfig,
     params: String,
     registry: Registry,
+    telemetry: Snapshot,
     tx: Sender<VerifyRequest>,
     rx: Receiver<VerifyRequest>,
 }
@@ -155,6 +160,7 @@ impl VerificationService {
             cfg,
             params,
             registry,
+            telemetry: Snapshot::new(),
             tx,
             rx,
         })
@@ -184,6 +190,16 @@ impl VerificationService {
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The service-telemetry snapshot accumulated so far: per-shard queue
+    /// depths, request/probe counters, virtual-latency and ladder-depth
+    /// histograms, and the global batch-occupancy high watermark. Shard
+    /// snapshots merge commutatively in shard order, so the snapshot is
+    /// byte-identical at any `--threads` count.
+    #[must_use]
+    pub fn telemetry(&self) -> &Snapshot {
+        &self.telemetry
     }
 
     /// Consumes the service, yielding the registry.
@@ -241,14 +257,18 @@ impl VerificationService {
             params: &self.params,
         };
         let runner = TrialRunner::with_threads(self.cfg.seed, threads);
-        let shard_results: Vec<Result<(Vec<Draft>, ServiceStats), CoreError>> =
-            runner.run(shards, |trial| ctx.run_shard(&per_shard[trial.index]));
+        let shard_results: Vec<ShardYield> = runner.run(shards, |trial| {
+            ctx.run_shard(trial.index, &per_shard[trial.index])
+        });
 
+        self.telemetry
+            .gauge_max("service_batch_occupancy", GLOBAL, batch.len() as u64);
         let mut stats = ServiceStats::new();
         let mut drafts: Vec<Draft> = Vec::with_capacity(batch.len());
         for shard in shard_results {
-            let (shard_drafts, shard_stats) = shard?;
+            let (shard_drafts, shard_stats, shard_telemetry) = shard?;
             stats.absorb(&shard_stats);
+            self.telemetry.merge(&shard_telemetry);
             drafts.extend(shard_drafts);
         }
         drafts.sort_by_key(|&(global, _)| global);
@@ -282,32 +302,50 @@ struct ShardCtx<'a> {
 }
 
 impl ShardCtx<'_> {
-    /// Processes one shard's requests in arrival order.
-    fn run_shard(
-        &self,
-        requests: &[(usize, VerifyRequest)],
-    ) -> Result<(Vec<Draft>, ServiceStats), CoreError> {
+    /// Processes one shard's requests in arrival order, folding per-shard
+    /// telemetry: the queue-depth high watermark, request and probe
+    /// counters, and per-request virtual-latency / ladder-depth
+    /// histograms, all labeled with `shard_index`.
+    fn run_shard(&self, shard_index: usize, requests: &[(usize, VerifyRequest)]) -> ShardYield {
+        let shard = shard_index as u64;
         let mut drafts = Vec::with_capacity(requests.len());
         let mut stats = ServiceStats::new();
+        let mut telemetry = Snapshot::new();
+        telemetry.gauge_max("service_queue_depth", shard, requests.len() as u64);
         for &(global, req) in requests {
-            let record = self.serve_one(req)?;
+            let (record, virtual_latency) = self.serve_one(req)?;
+            telemetry.add("service_requests_total", shard, 1);
+            if req.probe {
+                telemetry.add("service_probe_total", shard, 1);
+            }
+            telemetry.observe("service_virtual_latency_ops", shard, virtual_latency);
+            telemetry.observe(
+                "service_ladder_depth",
+                shard,
+                u64::from(record.ladder_depth),
+            );
             stats.record(&record);
             drafts.push((global, record));
         }
-        Ok((drafts, stats))
+        Ok((drafts, stats, telemetry))
     }
 
     /// Serves one request against a fresh copy of the chip's enrolled
     /// state, with a metrics-only collector installed around the work.
-    fn serve_one(&self, req: VerifyRequest) -> Result<Record, CoreError> {
+    /// Returns the draft record and the request's virtual latency in
+    /// flash-op cost units (see [`virtual_latency_of`]).
+    fn serve_one(&self, req: VerifyRequest) -> Result<(Record, u64), CoreError> {
         let Some(enrolled) = self.population.get(req.chip_id) else {
-            return Ok(self.draft(
-                req,
-                "unenrolled",
-                RecordVerdict::Reject,
-                "unenrolled",
-                &Metrics::new(),
-                0,
+            return Ok((
+                self.draft(
+                    req,
+                    "unenrolled",
+                    RecordVerdict::Reject,
+                    "unenrolled",
+                    &Metrics::new(),
+                    0,
+                    0,
+                ),
                 0,
             ));
         };
@@ -341,14 +379,18 @@ impl ShardCtx<'_> {
         let metrics = collector.metrics();
         let ladder_depth = metrics.group_total("ladder") as u32;
         let retries = metrics.group_total("retry") as u32;
-        Ok(self.draft(
-            req,
-            enrolled.class,
-            verdict,
-            reason,
-            metrics,
-            ladder_depth,
-            retries,
+        let virtual_latency = virtual_latency_of(metrics);
+        Ok((
+            self.draft(
+                req,
+                enrolled.class,
+                verdict,
+                reason,
+                metrics,
+                ladder_depth,
+                retries,
+            ),
+            virtual_latency,
         ))
     }
 
@@ -497,6 +539,51 @@ mod tests {
         parallel.process_batch(&batch, 4).unwrap();
         assert_eq!(serial.registry().root(), parallel.registry().root());
         assert_eq!(serial.registry().contents(), parallel.registry().contents());
+        assert_eq!(serial.telemetry(), parallel.telemetry());
+        assert_eq!(
+            serial.telemetry().expose(),
+            parallel.telemetry().expose(),
+            "telemetry exposition differs across thread counts"
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_requests_probes_and_latency() {
+        let mut svc = service(13);
+        let n = svc.population().len() as u64;
+        let batch: Vec<VerifyRequest> = (0..2 * n)
+            .map(|i| VerifyRequest {
+                request_id: i,
+                chip_id: i % n,
+                probe: i % 4 == 0,
+            })
+            .collect();
+        svc.process_batch(&batch, 2).unwrap();
+        let t = svc.telemetry();
+        let shards = 16u64;
+        let total: u64 = (0..shards)
+            .map(|s| t.counter("service_requests_total", s))
+            .sum();
+        assert_eq!(total, 2 * n);
+        let probes: u64 = (0..shards)
+            .map(|s| t.counter("service_probe_total", s))
+            .sum();
+        assert_eq!(probes, batch.iter().filter(|r| r.probe).count() as u64);
+        assert_eq!(t.gauge("service_batch_occupancy", GLOBAL), 2 * n);
+        // Every served request lands one observation in each histogram,
+        // and verification always performs flash work.
+        let vlat_count: u64 = (0..shards)
+            .map(|s| t.histogram_count("service_virtual_latency_ops", s))
+            .sum();
+        assert_eq!(vlat_count, 2 * n);
+        let vlat_sum: u64 = (0..shards)
+            .map(|s| t.histogram_sum("service_virtual_latency_ops", s))
+            .sum();
+        assert!(vlat_sum > 0, "no flash work attributed to any request");
+        // Queue-depth gauges sum to at least the batch (each request
+        // queued in exactly one shard).
+        let queued: u64 = (0..shards).map(|s| t.gauge("service_queue_depth", s)).sum();
+        assert_eq!(queued, 2 * n);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! * [`serve`] — the incoming-inspection verification service: a channel
 //!   front end sharding batched verify requests across workers while
 //!   keeping the registry byte-identical at any thread count.
+//! * [`trend`] — cross-run trend registry: a digest-chained log of
+//!   campaign outcomes with detection-drift gates and advisory perf
+//!   drift warnings.
 //!
 //! # Quickstart
 //!
@@ -66,3 +69,4 @@ pub use flashmark_registry as registry;
 pub use flashmark_sanitizer as sanitizer;
 pub use flashmark_serve as serve;
 pub use flashmark_supply as supply;
+pub use flashmark_trend as trend;

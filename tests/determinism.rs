@@ -49,11 +49,11 @@ fn scenario_statistics_are_reproducible() {
 }
 
 /// The parallel trial engine's core guarantee: a reduced-profile `run_all`
-/// produces byte-identical JSON artifacts at 1 worker thread (the exact
-/// legacy serial path) and at 8. The only exceptions are
-/// `obs_timings.json` and `service_timings.json`, which exist precisely to
-/// quarantine wall-clock measurements away from the deterministic
-/// artifacts.
+/// produces byte-identical JSON, `.jsonl`, and `.prom` artifacts at 1
+/// worker thread (the exact legacy serial path) and at 8. The only
+/// exceptions are `obs_timings.json` and `service_timings.json`, which
+/// exist precisely to quarantine wall-clock measurements away from the
+/// deterministic artifacts.
 #[test]
 fn suite_json_artifacts_identical_across_thread_counts() {
     use flashmark_bench::suite::{run_suite, Profile, SuiteOptions};
@@ -77,9 +77,11 @@ fn suite_json_artifacts_identical_across_thread_counts() {
         for entry in std::fs::read_dir(&dir).expect("results dir") {
             let path = entry.expect("dir entry").path();
             let name = path.file_name().unwrap().to_string_lossy().into_owned();
-            // The quarantine files for wall-clock data are the only JSON
-            // artifacts allowed to differ between runs.
-            if path.extension().is_some_and(|e| e == "json")
+            // The quarantine files for wall-clock data are the only
+            // deterministic-format artifacts allowed to differ.
+            if path
+                .extension()
+                .is_some_and(|e| e == "json" || e == "jsonl" || e == "prom")
                 && name != "obs_timings.json"
                 && name != "service_timings.json"
             {
@@ -90,6 +92,14 @@ fn suite_json_artifacts_identical_across_thread_counts() {
         assert!(
             files.contains_key("obs_report.json"),
             "suite did not write obs_report.json"
+        );
+        assert!(
+            files.contains_key("trend_log.jsonl") && files.contains_key("trend_report.json"),
+            "suite did not append the trend log and drift report"
+        );
+        assert!(
+            files.contains_key("service_metrics_smoke.prom"),
+            "suite did not write the metrics exposition"
         );
         artifacts.push(files);
     }

@@ -1,19 +1,29 @@
 //! The provenance service's fleet-scale determinism guarantees: any
-//! `--threads N` produces a byte-identical registry and campaign artifact,
-//! and replaying a batch never duplicates records.
+//! `--threads N` produces a byte-identical registry, campaign artifact,
+//! telemetry exposition, and trend-log record, and replaying a batch
+//! never duplicates records.
 
 use flashmark_bench::json::ToJson as _;
 use flashmark_bench::service_campaign::{
     build_campaign_service, campaign_request, summarize, ServiceCampaignOptions,
 };
+use flashmark_bench::trend::service_record;
 use flashmark_core::FlashmarkConfig;
 use flashmark_registry::RegistryOptions;
 use flashmark_serve::{PopulationSpec, ServiceConfig, VerificationService};
 
-/// Drives the reduced campaign stream at the given thread count and
-/// returns the full registry file contents plus the rendered campaign
-/// artifact JSON.
-fn run_campaign(threads: usize) -> (String, String) {
+/// One thread count's run of the reduced campaign stream: every byte
+/// surface that must be identical across `--threads` counts.
+struct CampaignBytes {
+    registry: String,
+    artifact_json: String,
+    exposition: String,
+    trend_line: String,
+    vlat_observations: u64,
+}
+
+/// Drives the reduced campaign stream at the given thread count.
+fn run_campaign(threads: usize) -> CampaignBytes {
     let opts = ServiceCampaignOptions::tiny(threads);
     let mut service = build_campaign_service(opts.seed).expect("campaign service");
     let population = service.population().len() as u64;
@@ -33,23 +43,52 @@ fn run_campaign(threads: usize) -> (String, String) {
     let data = summarize(&service, &opts, duplicates);
     assert_eq!(data.requests, opts.requests);
     assert_eq!(data.duplicates, 0, "clean stream must not deduplicate");
-    (service.registry().contents(), data.to_json().pretty())
+    CampaignBytes {
+        registry: service.registry().contents(),
+        exposition: service.telemetry().expose(),
+        trend_line: service_record(&data).canonical_line(),
+        vlat_observations: data.virtual_latency_histogram.iter().map(|b| b.count).sum(),
+        artifact_json: data.to_json().pretty(),
+    }
 }
 
-/// Tentpole guarantee: the registry file and `service_campaign` artifact
-/// are byte-identical at `--threads 1` (the exact serial path) and
-/// `--threads 8`.
+/// Tentpole guarantee: the registry file, `service_campaign` artifact,
+/// telemetry exposition (including the ops-weighted virtual-latency
+/// histograms), and the appended trend-log record are all byte-identical
+/// at `--threads 1` (the exact serial path) and `--threads 8`.
 #[test]
 fn registry_and_artifact_identical_across_thread_counts() {
-    let (serial_registry, serial_json) = run_campaign(1);
-    let (parallel_registry, parallel_json) = run_campaign(8);
+    let serial = run_campaign(1);
+    let parallel = run_campaign(8);
     assert_eq!(
-        serial_registry, parallel_registry,
+        serial.registry, parallel.registry,
         "registry file differs between --threads 1 and --threads 8"
     );
     assert_eq!(
-        serial_json, parallel_json,
+        serial.artifact_json, parallel.artifact_json,
         "service_campaign artifact differs between --threads 1 and --threads 8"
+    );
+    assert_eq!(
+        serial.exposition, parallel.exposition,
+        "metrics exposition differs between --threads 1 and --threads 8"
+    );
+    assert_eq!(
+        serial.trend_line, parallel.trend_line,
+        "trend record differs between --threads 1 and --threads 8"
+    );
+    // The exposition actually carries the latency histograms (one
+    // observation per request), not just empty scaffolding.
+    assert_eq!(
+        serial.vlat_observations,
+        ServiceCampaignOptions::tiny(1).requests,
+        "virtual-latency histogram must hold one observation per request"
+    );
+    assert!(
+        serial
+            .exposition
+            .contains("service_virtual_latency_ops_bucket"),
+        "exposition lacks virtual-latency buckets:\n{}",
+        serial.exposition
     );
 
     // The bytes `Registry::write_to` persists are exactly `contents()`.
