@@ -90,7 +90,13 @@ fn main() -> ExitCode {
     // that must not block the PR that introduces it.
     for e in &current.entries {
         if e.name.starts_with("kernel/") && baseline.get(&e.name).is_none() {
-            eprintln!("WARNING {}: measured but not in baseline (new kernel?); not gated until the baseline is regenerated", e.name);
+            eprintln!(
+                "WARNING {}: measured ({:.1} trials/s) but absent from {}; \
+                 not gated until this run's merged report is committed",
+                e.name,
+                e.trials_per_s,
+                baseline_path.display()
+            );
         }
     }
 

@@ -24,6 +24,7 @@
 //! cargo run --release -p flashmark-bench --bin fig09_ber_single
 //! ```
 
+pub mod backend_campaign;
 pub mod experiments;
 pub mod fault_campaign;
 pub mod harness;

@@ -369,6 +369,36 @@ pub fn kernel_suite() -> RuntimeReport {
         traced_ops(touched, bulk),
     );
 
+    // ReRAM kernels: the forming-pass imprint (the backend's decisive cost
+    // advantage — one pass regardless of stress level) and the partial
+    // reset the extraction ladder leans on.
+    let reram = || {
+        let mut c = flashmark_reram::ReramChip::new(FlashGeometry::single_bank(2), 0xBE7C);
+        let _ = c.array_mut().segment(seg);
+        c
+    };
+    let form = |mut c: flashmark_reram::ReramChip| {
+        c.form_mark(seg, &pattern, 5_000).expect("form");
+    };
+    add(
+        "reram_form_mark_5k",
+        bench.bench_with_setup("reram_form_mark_5k", reram, form),
+        traced_ops(reram, form),
+    );
+    let reram_set = || {
+        let mut c = reram();
+        c.set_block(seg, &pattern).expect("set");
+        c
+    };
+    let reset = |mut c: flashmark_reram::ReramChip| {
+        c.partial_reset(seg, Micros::new(30.0)).expect("reset");
+    };
+    add(
+        "reram_partial_reset",
+        bench.bench_with_setup("reram_partial_reset", reram_set, reset),
+        traced_ops(reram_set, reset),
+    );
+
     // Service-path kernels. Ops are passed explicitly instead of via
     // `traced_ops`: the service installs its own per-request collectors, so
     // an outer collector would see nothing.

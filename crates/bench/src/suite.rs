@@ -832,6 +832,81 @@ pub fn run_suite(opts: &SuiteOptions) -> std::io::Result<SuiteReport> {
         },
     );
 
+    // Differential backend campaign: the same scenario grid through every
+    // `WatermarkScheme` backend (NOR tPEW / NAND PUF / ReRAM forming).
+    // The deterministic summary goes to backend_campaign_smoke.json (the
+    // CI `backend-smoke` diff target — the Full profile writes the same
+    // shape the `backend_campaign --smoke` bin produces); the committed
+    // full-size backend_campaign.json and the per-scheme trend records
+    // come from the bin's default run, not the suite.
+    let be_opts = if smoke {
+        crate::backend_campaign::BackendCampaignOptions::tiny(opts.threads)
+    } else {
+        crate::backend_campaign::BackendCampaignOptions::smoke(opts.threads)
+    };
+    let be_trials = be_opts.trials
+        * crate::backend_campaign::Scenario::ALL.len()
+        * crate::backend_campaign::BACKEND_SCHEMES.len();
+    step(
+        &mut outcomes,
+        &mut md,
+        "backend_campaign_smoke",
+        be_trials,
+        |md| {
+            let data = crate::backend_campaign::run_backend_campaign(&be_opts)?;
+            write_json_in(dir, "backend_campaign_smoke", &data)?;
+            for s in &data.schemes {
+                row(
+                    md,
+                    "backends",
+                    &format!("{} ground-truth verdicts", s.scheme),
+                    "all scenarios".into(),
+                    format!("{}/{}", s.expected_matches, s.trials),
+                );
+                row(
+                    md,
+                    "backends",
+                    &format!("{} forgery margin (mismatch)", s.scheme),
+                    "counterfeit ≫ genuine".into(),
+                    format!(
+                        "{:.3} − {:.3} = {:.3}",
+                        s.mean_counterfeit_mismatch, s.mean_genuine_mismatch, s.forgery_margin
+                    ),
+                );
+                row(
+                    md,
+                    "backends",
+                    &format!("{} imprint cost", s.scheme),
+                    if s.imprints {
+                        "wear-based".into()
+                    } else {
+                        "free (intrinsic)".into()
+                    },
+                    format!("{} cycles / {:.0} s", s.imprint_cycles, s.imprint_sim_s),
+                );
+            }
+            if let Some(nor) = data.schemes.iter().find(|s| s.scheme == "nor_tpew") {
+                row(
+                    md,
+                    "backends",
+                    "NOR scheme facade vs legacy pipeline agreement",
+                    "identical verdicts".into(),
+                    format!("{}/{}", nor.legacy_matches.unwrap_or(0), nor.trials),
+                );
+            }
+            for s in &data.schemes {
+                if s.expected_matches != s.trials {
+                    return Err(format!(
+                        "{}: a scenario missed its ground-truth verdict",
+                        s.scheme
+                    )
+                    .into());
+                }
+            }
+            Ok(())
+        },
+    );
+
     // Supply-chain scenario.
     step(&mut outcomes, &mut md, "scenario", 1, |md| {
         let stats = SupplyChainScenario::new(ScenarioConfig::small(0x5CA1E)).run()?;

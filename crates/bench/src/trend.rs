@@ -9,7 +9,10 @@
 //! * the `service_campaign` bin appends a `"service"` record for the
 //!   standalone campaign it ran;
 //! * `perf_smoke` appends a `"perf"` record carrying the kernel
-//!   throughputs (wall-clock-bearing, so drift on it only ever warns).
+//!   throughputs (wall-clock-bearing, so drift on it only ever warns);
+//! * the `backend_campaign` bin appends one `"backend"` record **per
+//!   scheme** (NOR tPEW / NAND PUF / ReRAM forming), so detection drift
+//!   gates each technology backend independently.
 //!
 //! The `trend_check` bin re-verifies the chained log, recomputes the
 //! drift report, and fails CI on any detection-rate drift.
@@ -23,6 +26,7 @@ use flashmark_trend::{
     TREND_FORMAT_VERSION,
 };
 
+use crate::backend_campaign::{BackendCampaignData, BackendSchemeSummary};
 use crate::impl_to_json;
 use crate::microbench::RuntimeReport;
 use crate::output::write_json_in;
@@ -91,6 +95,44 @@ pub fn suite_record(
     fold_verdict_mix(&mut record, data);
     record.flips = fault_flips;
     record.ops = obs_ops;
+    record
+}
+
+/// The params digest of one scheme's slice of a backend campaign: the
+/// shared operating point plus the campaign shape and the scheme name, so
+/// every scheme (and every campaign size) lands in its own drift group.
+#[must_use]
+pub fn backend_params_digest(data: &BackendCampaignData, scheme: &str) -> Digest64 {
+    Digest64::of(
+        format!(
+            "backend|{scheme}|trials={}|scenarios={}",
+            data.trials_per_scenario,
+            data.scenarios.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// The `"backend"` record of one scheme's slice of a differential backend
+/// campaign: the per-scenario verdict mix, one record per scheme so
+/// `trend_check` gates detection drift per backend independently.
+#[must_use]
+pub fn backend_trend_record(
+    data: &BackendCampaignData,
+    summary: &BackendSchemeSummary,
+) -> TrendRecord {
+    let mut record = TrendRecord::new(
+        "backend",
+        TREND_BUILD_TAG,
+        data.seed,
+        backend_params_digest(data, &summary.scheme),
+    );
+    for mix in &summary.verdict_mix {
+        *record
+            .verdict_mix
+            .entry((mix.scenario.clone(), mix.verdict.clone()))
+            .or_insert(0) += mix.count;
+    }
     record
 }
 

@@ -59,8 +59,11 @@ pub mod imprint;
 pub mod layout;
 pub mod metrics;
 pub mod multi;
+pub mod nor_scheme;
+pub mod pipeline;
 pub mod recipe;
 pub mod sanitized;
+pub mod scheme;
 pub mod tamper;
 pub mod verify;
 pub mod watermark;
@@ -77,6 +80,8 @@ pub use imprint::{ImprintReport, Imprinter};
 pub use layout::{ReplicaLayout, SegmentLayout};
 pub use metrics::ExtractionErrors;
 pub use multi::{MultiExtraction, MultiSegment};
+pub use nor_scheme::{NorEnrollment, NorTpew, NorTpewParams};
+pub use pipeline::{inspect, provision, roundtrip};
 pub use recipe::{
     characterize_sample, derive_recipe, fuse_windows, ExtractionRecipe, FamilyCharacterization,
 };
@@ -84,6 +89,7 @@ pub use sanitized::{
     characterize_sanitized, extract_sanitized, imprint_sanitized, imprint_via_cycles_sanitized,
     run_sanitized, SanitizedOutcome,
 };
+pub use scheme::{ImprintCost, SchemeError, SchemeVerification, WatermarkScheme};
 pub use tamper::{BalancePolicy, FlipAsymmetry};
 pub use verify::{
     CounterfeitReason, InconclusiveReason, Resolution, Verdict, VerificationReport, Verifier,

@@ -1,0 +1,202 @@
+//! Scheme-generic pipeline entry points.
+//!
+//! These are the high-level flows campaign drivers and services compose,
+//! written once against [`WatermarkScheme`] so they run unchanged over NOR
+//! tPEW wear, ReRAM forming stress, and intrinsic NAND PUF backends:
+//!
+//! * [`provision`] — the manufacturer flow: enroll, then imprint.
+//! * [`inspect`] — the inspector flow: verify against an enrollment.
+//! * [`roundtrip`] — provision then immediately inspect (the basic
+//!   genuine-chip sanity flow the contract tests pin).
+//!
+//! The concrete-NOR entry points that predate the redesign remain as
+//! deprecated thin shims ([`provision_nor`], [`inspect_nor`]) so existing
+//! callers keep compiling; they delegate to the generic flow over
+//! [`NorTpew`](crate::nor_scheme::NorTpew) and are pinned equivalent by
+//! test.
+
+use flashmark_nor::{FlashController, SegmentAddr};
+
+use crate::config::FlashmarkConfig;
+use crate::nor_scheme::{NorEnrollment, NorTpew, NorTpewParams};
+use crate::scheme::{ImprintCost, SchemeError, SchemeVerification, WatermarkScheme};
+use crate::watermark::WatermarkRecord;
+
+/// The manufacturer provisioning flow: enroll the chip, then imprint the
+/// enrollment's mark. For intrinsic schemes the imprint is a free no-op and
+/// the cost comes back zero.
+///
+/// # Errors
+///
+/// Backend or parameter errors from either step.
+pub fn provision<S: WatermarkScheme>(
+    scheme: &S,
+    chip: &mut S::Chip,
+    params: &S::Params,
+) -> Result<(S::Enrollment, ImprintCost), SchemeError> {
+    let enrollment = scheme.enroll(chip, params)?;
+    let cost = scheme.imprint(chip, params, &enrollment)?;
+    Ok((enrollment, cost))
+}
+
+/// The inspector flow: verify a chip against its published enrollment.
+///
+/// # Errors
+///
+/// Non-transient backend errors only; fault conditions degrade to
+/// [`Verdict::Inconclusive`](crate::verify::Verdict::Inconclusive) inside
+/// the returned verification.
+pub fn inspect<S: WatermarkScheme>(
+    scheme: &S,
+    chip: &mut S::Chip,
+    params: &S::Params,
+    enrollment: &S::Enrollment,
+) -> Result<SchemeVerification, SchemeError> {
+    scheme.verify(chip, params, enrollment)
+}
+
+/// Provision then immediately inspect the same chip — the genuine-chip
+/// sanity flow. Returns the enrollment, the imprint cost, and the verdict.
+///
+/// # Errors
+///
+/// Backend or parameter errors from any step.
+pub fn roundtrip<S: WatermarkScheme>(
+    scheme: &S,
+    chip: &mut S::Chip,
+    params: &S::Params,
+) -> Result<(S::Enrollment, ImprintCost, SchemeVerification), SchemeError> {
+    let (enrollment, cost) = provision(scheme, chip, params)?;
+    let verification = inspect(scheme, chip, params, &enrollment)?;
+    Ok((enrollment, cost, verification))
+}
+
+fn nor_params(
+    config: &FlashmarkConfig,
+    seg: SegmentAddr,
+    manufacturer_id: u16,
+    record: WatermarkRecord,
+) -> NorTpewParams {
+    NorTpewParams {
+        config: config.clone(),
+        seg,
+        manufacturer_id,
+        record,
+    }
+}
+
+/// Pre-redesign concrete-NOR provisioning entry point.
+///
+/// # Errors
+///
+/// Same as [`provision`] over [`NorTpew`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use pipeline::provision with the NorTpew scheme"
+)]
+pub fn provision_nor(
+    config: &FlashmarkConfig,
+    flash: &mut FlashController,
+    seg: SegmentAddr,
+    record: WatermarkRecord,
+) -> Result<(NorEnrollment, ImprintCost), SchemeError> {
+    let params = nor_params(config, seg, record.manufacturer_id, record);
+    provision(&NorTpew, flash, &params)
+}
+
+/// Pre-redesign concrete-NOR inspection entry point.
+///
+/// # Errors
+///
+/// Same as [`inspect`] over [`NorTpew`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use pipeline::inspect with the NorTpew scheme"
+)]
+pub fn inspect_nor(
+    config: &FlashmarkConfig,
+    flash: &mut FlashController,
+    seg: SegmentAddr,
+    expected_manufacturer: u16,
+    enrollment: &NorEnrollment,
+) -> Result<SchemeVerification, SchemeError> {
+    let params = nor_params(config, seg, expected_manufacturer, enrollment.record);
+    inspect(&NorTpew, flash, &params, enrollment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::Verdict;
+    use crate::watermark::TestStatus;
+    use flashmark_nor::{FlashGeometry, FlashTimings};
+    use flashmark_physics::PhysicsParams;
+
+    fn chip(seed: u64) -> FlashController {
+        FlashController::new(
+            PhysicsParams::msp430_like(),
+            FlashGeometry::single_bank(8),
+            FlashTimings::msp430(),
+            seed,
+        )
+    }
+
+    fn record(manufacturer_id: u16) -> WatermarkRecord {
+        WatermarkRecord {
+            manufacturer_id,
+            die_id: 99,
+            speed_grade: 1,
+            status: TestStatus::Accept,
+            year_week: 2214,
+        }
+    }
+
+    fn config() -> FlashmarkConfig {
+        FlashmarkConfig::builder()
+            .n_pe(80_000)
+            .replicas(7)
+            .t_pew(flashmark_physics::Micros::new(28.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_accepts_genuine() {
+        let p = NorTpewParams {
+            config: config(),
+            seg: SegmentAddr::new(0),
+            manufacturer_id: 0xAA01,
+            record: record(0xAA01),
+        };
+        let mut c = chip(31);
+        let (_, cost, v) = roundtrip(&NorTpew, &mut c, &p).unwrap();
+        assert_eq!(v.verdict, Verdict::Genuine);
+        assert!(cost.cycles > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_generic_path() {
+        let cfg = config();
+        let seg = SegmentAddr::new(0);
+        let rec = record(0xAB02);
+
+        let mut via_shim = chip(33);
+        let (enrollment, cost) = provision_nor(&cfg, &mut via_shim, seg, rec).unwrap();
+        let shim_v =
+            inspect_nor(&cfg, &mut via_shim, seg, rec.manufacturer_id, &enrollment).unwrap();
+
+        let p = NorTpewParams {
+            config: cfg,
+            seg,
+            manufacturer_id: rec.manufacturer_id,
+            record: rec,
+        };
+        let mut generic = chip(33);
+        let (gen_enrollment, gen_cost, gen_v) = roundtrip(&NorTpew, &mut generic, &p).unwrap();
+
+        assert_eq!(enrollment, gen_enrollment);
+        assert_eq!(cost, gen_cost);
+        assert_eq!(shim_v, gen_v);
+    }
+}

@@ -66,6 +66,10 @@ pub enum InconclusiveReason {
     /// The extraction window drifted and re-characterizing the segment
     /// failed, so no usable partial-erase time could be derived.
     RecharacterizationFailed,
+    /// A fuzzy fingerprint match landed between the accept and reject
+    /// thresholds (intrinsic PUF schemes): too noisy to accept, too close
+    /// to the enrollment to reject. Re-measure the chip.
+    FuzzyMatchMarginal,
 }
 
 impl fmt::Display for InconclusiveReason {
@@ -77,6 +81,10 @@ impl fmt::Display for InconclusiveReason {
             Self::RecharacterizationFailed => write!(
                 f,
                 "the extraction window drifted and re-characterization faulted"
+            ),
+            Self::FuzzyMatchMarginal => write!(
+                f,
+                "fuzzy fingerprint distance fell between the accept and reject thresholds"
             ),
         }
     }

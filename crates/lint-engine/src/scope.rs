@@ -75,8 +75,8 @@ impl FileScope {
         // library discipline, including the hot-path families.
         let root_lib = c.is_empty();
         let rules = RuleSet {
-            panic_free: !is_bin && (matches!(c, "nor" | "core") || root_lib),
-            float_eq: !is_bin && (matches!(c, "physics" | "nor" | "core") || root_lib),
+            panic_free: !is_bin && (matches!(c, "nor" | "core" | "reram") || root_lib),
+            float_eq: !is_bin && (matches!(c, "physics" | "nor" | "core" | "reram") || root_lib),
             // Drivers and the bench harness time real executions; the RNG
             // module is the sanctioned entropy source; the tooling spells
             // the forbidden patterns.
@@ -453,6 +453,15 @@ mod tests {
         assert!(!xtask.rules.print_discipline);
         let engine = FileScope::classify("crates/lint-engine/src/lexer.rs").unwrap();
         assert!(!engine.rules.seed_dataflow && engine.rules.map_order);
+    }
+
+    #[test]
+    fn reram_backend_gets_library_discipline() {
+        let chip = FileScope::classify("crates/reram/src/chip.rs").unwrap();
+        assert!(chip.rules.panic_free, "reram is a simulation backend");
+        assert!(chip.rules.float_eq, "reram carries analog physics");
+        assert!(chip.rules.pub_liveness && chip.rules.seed_dataflow);
+        assert!(chip.rules.nondeterminism && chip.rules.wall_clock);
     }
 
     #[test]

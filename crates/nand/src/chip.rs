@@ -7,7 +7,7 @@ use flashmark_nor::timing::SimClock;
 use flashmark_physics::cell::{sense, CellState, CellStatics};
 use flashmark_physics::erase::apply_erase;
 use flashmark_physics::noise::PulseNoise;
-use flashmark_physics::program::apply_program;
+use flashmark_physics::program::{apply_partial_program, apply_program};
 use flashmark_physics::rng::{mix2, SplitMix64};
 use flashmark_physics::variation::Normal;
 use flashmark_physics::wear::bulk_pe_stress;
@@ -331,6 +331,33 @@ impl NandChip {
             }
         }
         Ok(spent)
+    }
+
+    /// Applies a *partial program* pulse of `t_pp` to every cell of a block
+    /// and aborts (reset command): each cell's threshold rises in
+    /// proportion to its intrinsic program speed, so after a pulse around
+    /// half the nominal program time, which cells read 0 is a fingerprint
+    /// of the die's process variation — the intrinsic-PUF enrollment
+    /// primitive. A test-mode operation: it bypasses the page registers
+    /// and does not count toward the NOP limit.
+    ///
+    /// # Errors
+    ///
+    /// Address errors.
+    pub fn partial_program_block(
+        &mut self,
+        block: BlockAddr,
+        t_pp: Micros,
+    ) -> Result<(), NandError> {
+        self.check_block(block)?;
+        let params = self.params.clone();
+        let mut rng = self.op_rng.fork(mix2(0x9A27, block.index() as u64));
+        let cells = self.block_cells(block);
+        for (st, state) in cells.statics.iter().zip(cells.states.iter_mut()) {
+            apply_partial_program(&params, st, state, t_pp.get(), &mut rng);
+        }
+        self.clock.advance(t_pp + self.timings.abort_latency);
+        Ok(())
     }
 
     /// Noise-free logical value of every cell of a block (ground truth).

@@ -35,9 +35,11 @@
 pub mod adapter;
 pub mod chip;
 pub mod geometry;
+pub mod puf;
 pub mod timing;
 
 pub use adapter::NandWordAdapter;
 pub use chip::{NandChip, NandError};
 pub use geometry::{BlockAddr, NandGeometry, PageAddr};
+pub use puf::{NandPuf, NandPufConfig, NandPufEnrollment, NandPufParams, NandPufReading};
 pub use timing::NandTimings;

@@ -36,6 +36,7 @@
 //!     request_id: 1,
 //!     chip_id: 42,
 //!     class: "genuine".into(),
+//!     scheme: "nor_tpew".into(),
 //!     commit: "flashmark/1".into(),
 //!     params: "{\"n_pe\":60000}".into(),
 //!     verdict: RecordVerdict::Accept,
@@ -47,7 +48,7 @@
 //! assert!(outcome.recorded());
 //! // Replaying the same request is a no-op.
 //! # let again = reg.append(Record { request_id: 1, chip_id: 42,
-//! #     class: "genuine".into(), commit: "flashmark/1".into(),
+//! #     class: "genuine".into(), scheme: "nor_tpew".into(), commit: "flashmark/1".into(),
 //! #     params: "{\"n_pe\":60000}".into(), verdict: RecordVerdict::Accept,
 //! #     reason: String::new(), metrics: "{}".into(), ladder_depth: 1, retries: 0 });
 //! # assert!(!again.recorded());

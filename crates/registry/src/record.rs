@@ -56,6 +56,11 @@ pub struct Record {
     /// generator uses ground truth here, so verdict mixes can be scored
     /// per class).
     pub class: String,
+    /// Watermark scheme that produced the verdict (`"nor_tpew"`,
+    /// `"nand_puf"`, `"reram_forming"` — the `WatermarkScheme::name`
+    /// vocabulary), so fleet records from different backends stay
+    /// distinguishable in one registry.
+    pub scheme: String,
     /// Verifier build tag recorded for audit (schema version + recipe id).
     pub commit: String,
     /// Canonical one-line JSON of the published extraction recipe the
@@ -122,13 +127,15 @@ impl SealedRecord {
 /// order is part of the schema; any change breaks the golden fixture.
 fn payload_line(seq: u64, r: &Record) -> String {
     format!(
-        "{{\"seq\":{},\"request_id\":{},\"chip_id\":{},\"class\":{},\"verdict\":\"{}\",\
+        "{{\"seq\":{},\"request_id\":{},\"chip_id\":{},\"class\":{},\"scheme\":{},\
+         \"verdict\":\"{}\",\
          \"reason\":{},\"ladder_depth\":{},\"retries\":{},\"commit\":{},\
          \"params\":{},\"metrics\":{}}}",
         seq,
         r.request_id,
         r.chip_id,
         json_string(&r.class),
+        json_string(&r.scheme),
         r.verdict.name(),
         json_string(&r.reason),
         r.ladder_depth,
@@ -186,6 +193,7 @@ mod tests {
             request_id: 7,
             chip_id: 3,
             class: "genuine".into(),
+            scheme: "nor_tpew".into(),
             commit: "flashmark-registry/1".into(),
             params: "{\"n_pe\":60000}".into(),
             verdict: RecordVerdict::Accept,
@@ -206,6 +214,7 @@ mod tests {
             "\"request_id\":",
             "\"chip_id\":",
             "\"class\":",
+            "\"scheme\":",
             "\"verdict\":",
             "\"reason\":",
             "\"ladder_depth\":",

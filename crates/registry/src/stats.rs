@@ -122,6 +122,7 @@ mod tests {
             request_id: 0,
             chip_id: 0,
             class: class.into(),
+            scheme: "nor_tpew".into(),
             commit: String::new(),
             params: String::new(),
             verdict,

@@ -253,6 +253,7 @@ mod tests {
             request_id,
             chip_id: request_id % 5,
             class: "genuine".into(),
+            scheme: "nor_tpew".into(),
             commit: "test/1".into(),
             params: "{\"n_pe\":60000}".into(),
             verdict: RecordVerdict::Accept,

@@ -32,6 +32,7 @@ fn golden_records() -> Vec<Record> {
             request_id: 0,
             chip_id: 17,
             class: "genuine".to_string(),
+            scheme: "nor_tpew".to_string(),
             commit: "flashmark-serve/golden".to_string(),
             params: PARAMS.to_string(),
             verdict: RecordVerdict::Accept,
@@ -44,6 +45,7 @@ fn golden_records() -> Vec<Record> {
             request_id: 1,
             chip_id: 92,
             class: "rebranded".to_string(),
+            scheme: "nand_puf".to_string(),
             commit: "flashmark-serve/golden".to_string(),
             params: PARAMS.to_string(),
             verdict: RecordVerdict::Reject,
@@ -56,6 +58,7 @@ fn golden_records() -> Vec<Record> {
             request_id: 2,
             chip_id: 45,
             class: "recycled".to_string(),
+            scheme: "reram_forming".to_string(),
             commit: "flashmark-serve/golden".to_string(),
             params: PARAMS.to_string(),
             verdict: RecordVerdict::Inconclusive,

@@ -13,6 +13,8 @@ use proptest::prelude::*;
 
 use flashmark_registry::{Record, RecordVerdict, Registry, RegistryOptions, ServiceStats};
 
+const SCHEMES: [&str; 3] = ["nor_tpew", "nand_puf", "reram_forming"];
+
 const CLASSES: [&str; 5] = [
     "genuine",
     "fallout_forged",
@@ -33,6 +35,7 @@ fn record_from(op: u64, request_id: u64) -> Record {
         request_id,
         chip_id: (op >> 2) & 0x7F,
         class: CLASSES[(op >> 9) as usize % CLASSES.len()].to_string(),
+        scheme: SCHEMES[(op >> 11) as usize % SCHEMES.len()].to_string(),
         commit: "prop".to_string(),
         params: "{}".to_string(),
         verdict,

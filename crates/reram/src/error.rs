@@ -1,0 +1,127 @@
+//! Error type of the ReRAM emulation.
+
+use core::fmt;
+
+use flashmark_core::scheme::SchemeError;
+use flashmark_nor::NorError;
+
+/// Errors raised by the ReRAM cell array or its peripheral circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReramError {
+    /// The underlying cell-array kernel failed (addressing, wear-model
+    /// range, transient interface faults — the arena kernels speak
+    /// [`NorError`], which the ReRAM array composes).
+    Array(NorError),
+    /// A forming stress exceeded the calibrated forming-voltage range.
+    FormingRange {
+        /// Requested equivalent stress cycles.
+        cycles: u64,
+        /// Calibrated maximum.
+        max: u64,
+    },
+    /// A data buffer had the wrong length for the segment.
+    DataLength {
+        /// Words supplied.
+        got: usize,
+        /// Words required.
+        expected: usize,
+    },
+}
+
+impl ReramError {
+    /// Whether the error is transient (a bounded retry of the same
+    /// operation is the correct response). Delegates to the composed
+    /// array error's classification; ReRAM-specific failures are all
+    /// persistent.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Self::Array(e) => e.is_transient(),
+            Self::FormingRange { .. } | Self::DataLength { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for ReramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Array(e) => write!(f, "cell array error: {e}"),
+            Self::FormingRange { cycles, max } => write!(
+                f,
+                "forming stress of {cycles} equivalent cycles exceeds the calibrated maximum {max}"
+            ),
+            Self::DataLength { got, expected } => {
+                write!(f, "data buffer has {got} words, segment needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NorError> for ReramError {
+    fn from(e: NorError) -> Self {
+        Self::Array(e)
+    }
+}
+
+impl From<ReramError> for SchemeError {
+    fn from(e: ReramError) -> Self {
+        let transient = e.is_transient();
+        match e {
+            // Array errors fold into the core vocabulary so retry ladders
+            // see the same NorError they would on NOR.
+            ReramError::Array(inner) => inner.into(),
+            other => SchemeError::Backend {
+                scheme: "reram_forming",
+                message: other.to_string(),
+                transient,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transiency_delegates_to_array() {
+        assert!(ReramError::Array(NorError::TransientNak).is_transient());
+        assert!(!ReramError::Array(NorError::Locked).is_transient());
+        assert!(!ReramError::FormingRange { cycles: 10, max: 5 }.is_transient());
+    }
+
+    #[test]
+    fn scheme_conversion_preserves_transiency() {
+        let t: SchemeError = ReramError::Array(NorError::TransientNak).into();
+        assert!(t.is_transient());
+        let p: SchemeError = ReramError::FormingRange { cycles: 9, max: 1 }.into();
+        assert!(!p.is_transient());
+        assert!(p.to_string().contains("forming"));
+    }
+
+    #[test]
+    fn displays_are_lowercase_prose() {
+        for e in [
+            ReramError::Array(NorError::Busy),
+            ReramError::FormingRange { cycles: 2, max: 1 },
+            ReramError::DataLength {
+                got: 3,
+                expected: 256,
+            },
+        ] {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+}

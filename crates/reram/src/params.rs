@@ -1,0 +1,126 @@
+//! ReRAM cell-population parameter preset.
+//!
+//! The watermark mechanism on resistive memory ("Watermarked ReRAM",
+//! arXiv 2204.02104) is the same wear asymmetry Flashmark exploits on NOR,
+//! with the stress applied at **forming time**: cells formed at an elevated
+//! forming voltage carry permanently degraded filaments, which switch
+//! (reset toward the high-resistance state) measurably slower for the rest
+//! of the device's life. The shared physics engine models this directly —
+//! the cell-state vocabulary maps as
+//!
+//! | NOR concept                | ReRAM concept                           |
+//! |----------------------------|-----------------------------------------|
+//! | erased (reads 1)           | high-resistance state (HRS)             |
+//! | programmed (reads 0)       | low-resistance state (LRS)              |
+//! | erase pulse                | reset pulse                             |
+//! | P/E-cycle oxide wear       | filament degradation (forming stress)   |
+//! | partial erase at `tPEW`    | aborted reset at `tPEW`                 |
+//!
+//! so the calibrated wear → switching-time machinery (and the published
+//! `tPEW` extraction window) carries over unchanged. What differs — and
+//! what [`reram_like`] encodes — is the population statistics:
+//!
+//! * **much wider device-to-device and cycle-to-cycle variation** —
+//!   filament geometry is stochastic, so threshold spreads and per-pulse
+//!   jitter are 2–3× the NOR figures (higher raw BER, countered by the
+//!   same replica voting);
+//! * **set/reset endurance asymmetry** — the set transition (filament
+//!   growth) degrades the cell far more than reset (filament dissolution),
+//!   so the wear weights are 0.70/0.30 instead of NOR's 0.55/0.45, and a
+//!   reset pulse on an already-reset cell costs twice the NOR figure;
+//! * **lower rated endurance** (60 K cycles) with a steeper per-kcycle
+//!   state shift — forming stress leaves a stronger per-cycle signature.
+
+use flashmark_physics::variation::{LogNormal, Normal};
+use flashmark_physics::{PhysicsParams, TailParams, Volts, WearWeights};
+
+/// Calibrated maximum forming stress, in equivalent P/E cycles. Forming at
+/// voltages beyond this range destroys filaments outright instead of
+/// degrading them, so the emulation refuses it.
+pub const MAX_FORMING_CYCLES: u64 = 200_000;
+
+/// Wear contribution of ReRAM operations: set (filament growth) dominates,
+/// reset is mild, and a redundant reset on an already-reset cell still
+/// nudges the filament twice as hard as NOR's erase-only figure.
+#[must_use]
+pub fn reram_wear_weights() -> WearWeights {
+    WearWeights {
+        program: 0.70,
+        erase: 0.30,
+        erase_only: 0.04,
+    }
+}
+
+/// Parameters of a HfO₂-filament ReRAM population, expressed in the shared
+/// physics vocabulary (see the module docs for the state mapping).
+#[must_use]
+pub fn reram_like() -> PhysicsParams {
+    let mut p = PhysicsParams::msp430_like();
+    // Stochastic filament geometry: wide static spreads, strong
+    // cycle-to-cycle jitter, noisier resistive sensing.
+    p.vth_erased = Normal::new(1.8, 0.12);
+    p.vth_programmed = Normal::new(5.6, 0.18);
+    p.read_noise_sigma = 0.06;
+    p.op_jitter_sigma = 0.05;
+    p.common_jitter_sigma = 0.05;
+    // Forming stress signature: lower endurance, steeper per-kcycle state
+    // shift (the watermark signal per equivalent cycle is ~2x NOR's).
+    p.endurance_kcycles = 60.0;
+    p.erased_vth_shift_per_kcycle = 0.008;
+    p.programmed_vth_shift_per_kcycle = 0.004;
+    p.wear = reram_wear_weights();
+    // Set/reset transitions are field-driven, not thermally activated the
+    // way Fowler-Nordheim tunneling is: a weaker temperature dependence.
+    p.erase_activation_energy_ev = 0.04;
+    // Stressed filaments "break through" early more often than worn flash
+    // oxide: a fatter early-switcher tail sharpens the forgery asymmetry.
+    p.tails = TailParams {
+        straggler_prob: 0.03,
+        straggler_max_extra: 0.40,
+        early_prob_cap: 0.04,
+        early_activation_span_kcycles: 80.0,
+        ..TailParams::default()
+    };
+    // Set pulses are ~100 ns-class; modelled at the sub-µs scale (the reset
+    // calibration stays on the shared µs grid so tPEW carries over).
+    p.prog_full_time_us = LogNormal::new(0.9, 0.12);
+    p.prog_speedup_per_kcycle = 0.008;
+    p.vref = Volts::new(3.2);
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_valid() {
+        reram_like().validate().unwrap();
+    }
+
+    #[test]
+    fn full_cycle_wear_is_one_but_asymmetric() {
+        let w = reram_wear_weights();
+        assert!((w.program + w.erase - 1.0).abs() < 1e-12);
+        assert!(w.program > 2.0 * w.erase, "set must dominate reset wear");
+        assert!(w.erase_only > WearWeights::default().erase_only);
+    }
+
+    #[test]
+    fn variation_is_wider_than_nor() {
+        let r = reram_like();
+        let n = PhysicsParams::msp430_like();
+        assert!(r.vth_erased.sigma > n.vth_erased.sigma);
+        assert!(r.read_noise_sigma > n.read_noise_sigma);
+        assert!(r.op_jitter_sigma > n.op_jitter_sigma);
+    }
+
+    #[test]
+    fn forming_signature_is_steeper_at_lower_endurance() {
+        let r = reram_like();
+        let n = PhysicsParams::msp430_like();
+        assert!(r.endurance_kcycles < n.endurance_kcycles);
+        assert!(r.erased_vth_shift_per_kcycle > n.erased_vth_shift_per_kcycle);
+    }
+}

@@ -1,0 +1,66 @@
+//! Dynamic-sanitizer check of the ReRAM adapter: the full Flashmark
+//! procedure (forming imprint, extraction, resilient verification) driven
+//! through `SanitizedFlash` must produce zero protocol violations —
+//! the adapter honors the same interface contract the NOR controller does.
+
+use flashmark_core::config::FlashmarkConfig;
+use flashmark_core::verify::{Verdict, Verifier};
+use flashmark_core::watermark::{TestStatus, WatermarkRecord};
+use flashmark_core::Imprinter;
+use flashmark_nor::{FlashGeometry, SegmentAddr};
+use flashmark_physics::Micros;
+use flashmark_reram::{ReramChip, ReramWordAdapter};
+use flashmark_sanitizer::SanitizedFlash;
+
+fn config() -> FlashmarkConfig {
+    FlashmarkConfig::builder()
+        .n_pe(60_000)
+        .replicas(7)
+        .t_pew(Micros::new(28.0))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn full_reram_flow_is_sanitizer_clean() {
+    let config = config();
+    let seg = SegmentAddr::new(0);
+    let record = WatermarkRecord {
+        manufacturer_id: 0x1001,
+        die_id: 9,
+        speed_grade: 1,
+        status: TestStatus::Accept,
+        year_week: 2033,
+    };
+    let adapter = ReramWordAdapter::new(ReramChip::new(FlashGeometry::single_bank(8), 0x5A11));
+    let mut sanitized = SanitizedFlash::new(adapter);
+
+    Imprinter::new(&config)
+        .imprint(&mut sanitized, seg, &record.to_watermark())
+        .unwrap();
+    let report = Verifier::new(config, record.manufacturer_id)
+        .verify_resilient(&mut sanitized, seg)
+        .unwrap();
+
+    assert_eq!(report.verdict, Verdict::Genuine);
+    assert!(
+        sanitized.is_clean(),
+        "violations: {:?}",
+        sanitized.violations()
+    );
+}
+
+#[test]
+fn blank_reram_inspection_is_sanitizer_clean() {
+    let adapter = ReramWordAdapter::new(ReramChip::new(FlashGeometry::single_bank(8), 0x5A12));
+    let mut sanitized = SanitizedFlash::new(adapter);
+    let report = Verifier::new(config(), 0x1001)
+        .verify_resilient(&mut sanitized, SegmentAddr::new(0))
+        .unwrap();
+    assert!(matches!(report.verdict, Verdict::Counterfeit(_)));
+    assert!(
+        sanitized.is_clean(),
+        "violations: {:?}",
+        sanitized.violations()
+    );
+}

@@ -43,6 +43,11 @@ pub const PROBE_WINDOW_SEGMENTS: u32 = 64;
 /// Verifier commit tag written into every registry record.
 pub const COMMIT_TAG: &str = concat!("flashmark-serve/", env!("CARGO_PKG_VERSION"));
 
+/// Watermark scheme the serving layer runs (`WatermarkScheme::name`
+/// vocabulary); stamped into every registry record so fleet logs from
+/// different backends stay distinguishable.
+pub const SCHEME: &str = "nor_tpew";
+
 /// One incoming-inspection request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VerifyRequest {
@@ -410,6 +415,7 @@ impl ShardCtx<'_> {
             request_id: req.request_id,
             chip_id: req.chip_id,
             class: class.to_string(),
+            scheme: SCHEME.to_string(),
             commit: COMMIT_TAG.to_string(),
             params: self.params.to_string(),
             verdict,
@@ -439,6 +445,7 @@ fn map_verdict(verdict: Verdict) -> (RecordVerdict, &'static str) {
             match reason {
                 InconclusiveReason::TransientFaults => "transient_faults",
                 InconclusiveReason::RecharacterizationFailed => "recharacterization_failed",
+                InconclusiveReason::FuzzyMatchMarginal => "fuzzy_match_marginal",
             },
         ),
     }
